@@ -1,0 +1,164 @@
+// Package repro's top-level benchmarks regenerate each of the paper's
+// tables (and the extension experiments) on reduced workloads, one benchmark
+// per table/figure, reporting the headline quantity as a custom metric.
+// The full-size tables are produced by cmd/chkbench.
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// benchWorkloads is a compact slice through all seven applications.
+func benchWorkloads() []apps.Workload {
+	return bench.QuickWorkloads()
+}
+
+// BenchmarkTable1OverheadPerCheckpoint regenerates Table 1 (overhead per
+// checkpoint for NB, Indep, NBM, Indep_M, NBMS) on the reduced workload set
+// and reports the mean per-checkpoint overhead of Coord_NB in virtual
+// milliseconds.
+func BenchmarkTable1OverheadPerCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.MeasureRows(par.DefaultConfig(), benchWorkloads(), bench.Table1Schemes, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var nb sim.Duration
+		for _, r := range rows {
+			nb += r.PerCkpt(ckpt.CoordNB)
+		}
+		b.ReportMetric(nb.Seconds()*1e3/float64(len(rows)), "virtual-ms/ckpt(NB)")
+		bench.WriteTable1(io.Discard, rows)
+	}
+}
+
+// BenchmarkTable2ExecutionTimes regenerates Table 2 (execution times with 3
+// checkpoints) and reports the mean relative overhead of Coord_NBMS.
+func BenchmarkTable2ExecutionTimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.MeasureRows(par.DefaultConfig(), benchWorkloads(), bench.Table2Schemes, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pct float64
+		for _, r := range rows {
+			pct += r.Percent(ckpt.CoordNBMS)
+		}
+		b.ReportMetric(pct/float64(len(rows)), "overhead-%(NBMS)")
+		bench.WriteTable2(io.Discard, rows)
+	}
+}
+
+// BenchmarkTable3PercentOverhead regenerates Table 3 (percentage overheads
+// and NB→NBMS reduction factors) and reports the mean NB/NBMS factor.
+func BenchmarkTable3PercentOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.MeasureRows(par.DefaultConfig(), benchWorkloads(), bench.Table2Schemes, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		factor, n := 0.0, 0
+		for _, r := range rows {
+			if nbms := r.Percent(ckpt.CoordNBMS); nbms > 0 {
+				factor += r.Percent(ckpt.CoordNB) / nbms
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(factor/float64(n), "NB/NBMS-factor")
+		}
+		bench.WriteTable3(io.Discard, rows)
+	}
+}
+
+// BenchmarkSyncCost regenerates E4 (the synchronization-cost decomposition
+// backing the paper's "sync cost is negligible" conclusion).
+func BenchmarkSyncCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.SyncCostExperiment(io.Discard, par.DefaultConfig(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorageOverhead regenerates E5 (stable-storage footprint:
+// coordinated keeps one round, independent keeps everything).
+func BenchmarkStorageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.StorageOverheadExperiment(io.Discard, par.DefaultConfig(), true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaggerAblation regenerates E8 (the B → NB → NBM → NBMS
+// optimization ladder).
+func BenchmarkStaggerAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.StaggerAblation(io.Discard, par.DefaultConfig(), true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntervalSweep regenerates E9 (overhead vs checkpoint interval
+// against Young's first-order model).
+func BenchmarkIntervalSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.IntervalSweep(io.Discard, par.DefaultConfig(), true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScaling regenerates E10 (overhead per checkpoint vs machine
+// size).
+func BenchmarkScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.ScalingExperiment(io.Discard, par.DefaultConfig(), true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDomino regenerates E6 (recovery lines and the domino effect under
+// independent checkpointing).
+func BenchmarkDomino(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.DominoExperiment(io.Discard, par.DefaultConfig(), true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery regenerates E7 (total failure plus coordinated
+// rollback-recovery with verified results).
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		err := bench.RecoveryDemo(io.Discard, par.DefaultConfig(), ckpt.CoordNBMS,
+			3*sim.Second, 10*sim.Second, 500*sim.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw event throughput of the
+// simulation substrate on a communication-heavy workload (useful when
+// tuning the kernel itself).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		wl := apps.ASPWorkload(apps.DefaultASP(64))
+		if _, err := core.Run(wl, core.Default()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

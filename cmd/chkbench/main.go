@@ -1,0 +1,84 @@
+// Command chkbench regenerates the paper's tables and the extension
+// experiments on the simulated Parsytec Xplorer testbed.
+//
+// Usage:
+//
+//	chkbench -table 1        # Table 1: overhead per checkpoint, 21 workloads
+//	chkbench -table 2        # Table 2: execution times with 3 checkpoints
+//	chkbench -table 3        # Table 3: percentage overheads
+//	chkbench -table all      # everything (Tables 2 and 3 share runs)
+//	chkbench -quick          # reduced workload sizes (fast smoke run)
+//	chkbench -exp sync       # E4: synchronization-cost decomposition
+//	chkbench -exp storage    # E5: stable-storage overhead comparison
+//	chkbench -exp stagger    # E8: staggering ablation
+//	chkbench -exp interval   # E9: overhead vs checkpoint interval
+//	chkbench -exp scaling    # E10: overhead vs machine size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/par"
+)
+
+func main() {
+	table := flag.String("table", "", "table to regenerate: 1, 2, 3 or all")
+	exp := flag.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling")
+	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	verbose := flag.Bool("v", false, "log every run")
+	flag.Parse()
+
+	if *table == "" && *exp == "" {
+		*table = "all"
+	}
+	var prog bench.Progress
+	if *verbose {
+		prog = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	cfg := par.DefaultConfig()
+	out := os.Stdout
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "chkbench:", err)
+		os.Exit(1)
+	}
+
+	if *table == "1" || *table == "all" {
+		wls := bench.Table1Workloads()
+		if *quick {
+			wls = bench.QuickWorkloads()
+		}
+		rows, err := bench.MeasureRows(cfg, wls, bench.Table1Schemes, 3, prog)
+		if err != nil {
+			fail(err)
+		}
+		bench.WriteTable1(out, rows)
+		fmt.Fprintln(out)
+	}
+	if *table == "2" || *table == "3" || *table == "all" {
+		wls := bench.Table2Workloads()
+		if *quick {
+			wls = bench.QuickWorkloads()
+		}
+		rows, err := bench.MeasureRows(cfg, wls, bench.Table2Schemes, 3, prog)
+		if err != nil {
+			fail(err)
+		}
+		if *table == "2" || *table == "all" {
+			bench.WriteTable2(out, rows)
+			fmt.Fprintln(out)
+		}
+		if *table == "3" || *table == "all" {
+			bench.WriteTable3(out, rows)
+			fmt.Fprintln(out)
+		}
+	}
+	if *exp != "" {
+		if err := bench.RunExperiment(out, *exp, cfg, *quick, prog); err != nil {
+			fail(err)
+		}
+	}
+}

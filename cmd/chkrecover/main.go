@@ -1,0 +1,58 @@
+// Command chkrecover runs the failure/recovery experiments:
+//
+//	chkrecover -exp coord    # E7: total failure + coordinated rollback-recovery
+//	chkrecover -exp domino   # E6: recovery lines and the domino effect under
+//	                         #     independent checkpointing
+//	chkrecover -exp logging  # E11: single-node failure + sender-based
+//	                         #      message-logging recovery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/ckpt"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "coord", "experiment: coord or domino")
+	scheme := flag.String("scheme", "NBMS", "coordinated scheme for -exp coord")
+	interval := flag.Duration("interval", 3*time.Second, "checkpoint interval (virtual)")
+	crashAt := flag.Duration("crash", 15*time.Second, "failure time (virtual)")
+	quick := flag.Bool("quick", false, "reduced workload sizes")
+	verbose := flag.Bool("v", false, "log every run")
+	flag.Parse()
+
+	var prog bench.Progress
+	if *verbose {
+		prog = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	cfg := par.DefaultConfig()
+	var err error
+	switch *exp {
+	case "coord":
+		var v ckpt.Variant
+		if v, err = bench.SchemeByName(*scheme); err == nil {
+			err = bench.RecoveryDemo(os.Stdout, cfg, v,
+				sim.Duration(*interval/time.Nanosecond),
+				sim.Duration(*crashAt/time.Nanosecond),
+				500*sim.Millisecond)
+		}
+	case "domino":
+		err = bench.DominoExperiment(os.Stdout, cfg, *quick, prog)
+	case "logging":
+		err = bench.LoggingRecoveryDemo(os.Stdout, cfg, 3,
+			sim.Duration(*crashAt/time.Nanosecond), 300*sim.Millisecond)
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chkrecover:", err)
+		os.Exit(1)
+	}
+}

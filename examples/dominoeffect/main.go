@@ -1,0 +1,93 @@
+// Domino effect: the classic weakness of independent checkpointing,
+// demonstrated end to end. Two processes play ping-pong and checkpoint
+// independently at points where messages always cross the checkpoint
+// intervals; the rollback-dependency analysis then shows the recovery line
+// collapsing all the way to the initial states.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/ckpt"
+	"repro/internal/codec"
+	"repro/internal/mp"
+	"repro/internal/par"
+	"repro/internal/rdg"
+	"repro/internal/sim"
+)
+
+// pingpong alternates sends and receives with its peer.
+type pingpong struct {
+	Rank, Iters int
+	Iter        int
+	Phase       int
+}
+
+func (p *pingpong) Run(e *mp.Env) {
+	peer := 1 - p.Rank
+	for p.Iter < p.Iters {
+		if p.Phase == 0 {
+			e.Compute(4e5)
+			w := codec.NewWriter()
+			w.Int(p.Iter)
+			e.Send(peer, 1, w.Bytes())
+			p.Phase = 1
+		}
+		e.Recv(peer, 1)
+		p.Phase = 0
+		p.Iter++
+	}
+}
+
+func (p *pingpong) Snapshot() []byte {
+	w := codec.NewWriter()
+	w.Int(p.Iter)
+	w.Int(p.Phase)
+	return w.Bytes()
+}
+
+func (p *pingpong) Restore(b []byte) {
+	r := codec.NewReader(b)
+	p.Iter, p.Phase = r.Int(), r.Int()
+}
+
+func main() {
+	cfg := par.DefaultConfig()
+	cfg.Fabric.MeshW, cfg.Fabric.MeshH = 2, 1 // two transputers suffice
+	m := par.NewMachine(cfg)
+	// The half-interval spread interleaves the two nodes' checkpoints, so
+	// ping-pong messages cross every checkpoint in both directions — the
+	// canonical domino construction.
+	sch := ckpt.New(ckpt.Indep, ckpt.Options{Interval: 2 * sim.Second, Spread: sim.Second})
+	sch.Attach(m)
+	w := mp.NewWorld(m)
+	for rank := 0; rank < 2; rank++ {
+		w.Launch(rank, &pingpong{Rank: rank, Iters: 200})
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	recs := sch.Records()
+	fmt.Printf("independent checkpoints taken: %d\n", len(recs))
+	for _, r := range recs {
+		fmt.Printf("  node %d checkpoint %d at %6.2fs (%d dependency edges)\n",
+			r.Rank, r.Index, r.At.Seconds(), len(r.Deps))
+	}
+
+	g := rdg.FromRecords(2, recs)
+	line := g.RecoveryLine()
+	fmt.Printf("\nrecovery line after a failure at the end of the run: %v\n", line)
+	if g.Domino(line) {
+		fmt.Println("DOMINO EFFECT: the only consistent state is the initial one —")
+		fmt.Println("every checkpoint is discarded because ping-pong messages cross")
+		fmt.Println("every pair of checkpoint intervals.")
+	} else {
+		rb := g.RollbackCheckpoints(line)
+		fmt.Printf("rollback discards %v checkpoint generations per process\n", rb)
+	}
+	fmt.Println("\nA coordinated scheme would always roll back exactly to its last")
+	fmt.Println("committed round — this is the paper's storage/recovery argument for")
+	fmt.Println("coordinated checkpointing (§1, §4).")
+}

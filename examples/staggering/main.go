@@ -1,0 +1,45 @@
+// Staggering: show why the paper's _NBMS scheme wins. The example runs the
+// same workload under all four coordinated variants plus the two independent
+// ones and prints when each node's checkpoint reached stable storage —
+// making the token-ring serialization (and the independent timers' natural
+// drift) directly visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+)
+
+func main() {
+	wl := apps.SORWorkload(apps.DefaultSOR(256, 100))
+	base, err := core.Run(wl, core.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, normal execution %.2fs; one checkpoint per scheme:\n\n", wl.Name, base.Exec.Seconds())
+
+	for _, v := range []ckpt.Variant{ckpt.CoordB, ckpt.CoordNB, ckpt.CoordNBM, ckpt.CoordNBMS, ckpt.Indep, ckpt.IndepM} {
+		cfg := core.Default()
+		cfg.Scheme = v
+		cfg.FirstAt = base.Exec / 2
+		cfg.MaxCheckpoints = 1
+		res, err := core.Run(wl, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var line strings.Builder
+		for _, rec := range res.Records {
+			fmt.Fprintf(&line, " n%d@%.2fs", rec.Rank, rec.At.Seconds())
+		}
+		fmt.Printf("%-11s +%6.2fs overhead | writes durable:%s\n",
+			res.Scheme, (res.Exec - base.Exec).Seconds(), line.String())
+	}
+	fmt.Println("\nUnder NBMS the completion times climb one service interval per node")
+	fmt.Println("(the token ring serializes stable-storage access); under NB/NBM the")
+	fmt.Println("simultaneous burst queues at the host link and disk instead.")
+}

@@ -1,0 +1,281 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/codec"
+	"repro/internal/mp"
+)
+
+// NBodyConfig parameterizes the gravitational simulation benchmark.
+type NBodyConfig struct {
+	N          int     // bodies; divisible by ranks
+	Steps      int     // integration steps
+	DT         float64 // time step
+	Seed       uint64
+	OpsPerPair float64 // abstract CPU ops per pairwise interaction
+}
+
+// DefaultNBody returns the benchmark configuration used by the tables.
+func DefaultNBody(n, steps int) NBodyConfig {
+	return NBodyConfig{N: n, Steps: steps, DT: 1e-3, Seed: 0xb0d1, OpsPerPair: 200}
+}
+
+// Body is one particle's dynamic state.
+type Body struct {
+	X, Y, Z    float64
+	VX, VY, VZ float64
+	Mass       float64
+}
+
+func initialBody(cfg NBodyConfig, i int) Body {
+	u := func(k uint64) float64 { return hash01(mix(cfg.Seed, k, uint64(i))) }
+	return Body{
+		X: u(1) - 0.5, Y: u(2) - 0.5, Z: u(3) - 0.5,
+		VX: 0.1 * (u(4) - 0.5), VY: 0.1 * (u(5) - 0.5), VZ: 0.1 * (u(6) - 0.5),
+		Mass: 0.5 + u(7),
+	}
+}
+
+// NBody integrates an all-pairs gravitational system. Bodies are
+// block-distributed; each step the position/mass buffer travels around a
+// ring so every rank accumulates forces from every block, in a fixed block
+// order so the floating-point sums match the sequential reference exactly.
+type NBody struct {
+	Cfg  NBodyConfig
+	Rank int
+	Size int
+
+	Step   int
+	Bodies []Body // local block
+	lo, hi int
+}
+
+// NewNBody builds rank's block of bodies.
+func NewNBody(rank, size int, cfg NBodyConfig) *NBody {
+	b := &NBody{Cfg: cfg, Rank: rank, Size: size}
+	b.lo, b.hi = blockRange(cfg.N, rank, size)
+	b.Bodies = make([]Body, b.hi-b.lo)
+	for i := range b.Bodies {
+		b.Bodies[i] = initialBody(cfg, b.lo+i)
+	}
+	return b
+}
+
+// NBodyWorkload adapts the benchmark to the harness registry. The sequential
+// reference is computed once and cached across the table's scheme runs.
+func NBodyWorkload(cfg NBodyConfig) Workload {
+	var cached []Body
+	return Workload{
+		Name: fmt.Sprintf("NBODY-%d", cfg.N),
+		Make: func(rank, size int) mp.Program { return NewNBody(rank, size, cfg) },
+		Check: func(progs []mp.Program) error {
+			size := len(progs)
+			if cached == nil {
+				cached = SequentialNBody(cfg, size)
+			}
+			ref := cached
+			for _, p := range progs {
+				b := p.(*NBody)
+				if b.Step != cfg.Steps {
+					return fmt.Errorf("nbody: rank %d stopped at step %d", b.Rank, b.Step)
+				}
+				for i, body := range b.Bodies {
+					want := ref[b.lo+i]
+					if body != want {
+						return fmt.Errorf("nbody: body %d = %+v, reference %+v", b.lo+i, body, want)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// blockSnapshot is the (position, mass) view shipped around the ring.
+type blockSnapshot struct {
+	X, Y, Z, Mass []float64
+}
+
+func (b *NBody) positions() blockSnapshot {
+	n := len(b.Bodies)
+	s := blockSnapshot{
+		X: make([]float64, n), Y: make([]float64, n),
+		Z: make([]float64, n), Mass: make([]float64, n),
+	}
+	for i, body := range b.Bodies {
+		s.X[i], s.Y[i], s.Z[i], s.Mass[i] = body.X, body.Y, body.Z, body.Mass
+	}
+	return s
+}
+
+func encodeBlock(owner int, s blockSnapshot) []byte {
+	w := codec.NewWriter()
+	w.Int(owner)
+	w.F64s(s.X)
+	w.F64s(s.Y)
+	w.F64s(s.Z)
+	w.F64s(s.Mass)
+	return w.Bytes()
+}
+
+func decodeBlock(b []byte) (int, blockSnapshot) {
+	r := codec.NewReader(b)
+	owner := r.Int()
+	s := blockSnapshot{X: r.F64s(), Y: r.F64s(), Z: r.F64s(), Mass: r.F64s()}
+	if r.Err() != nil {
+		panic(r.Err())
+	}
+	return owner, s
+}
+
+const tagRing = 21
+
+// Run executes the remaining steps.
+func (b *NBody) Run(e *mp.Env) {
+	for b.Step < b.Cfg.Steps {
+		n := len(b.Bodies)
+		ax := make([]float64, n)
+		ay := make([]float64, n)
+		az := make([]float64, n)
+		// Accumulate over blocks in global block order 0..Size-1 so the sum
+		// order is canonical. The ring rotation supplies block
+		// (Rank - h) mod Size at hop h; buffer them and apply in order.
+		blocks := make([]blockSnapshot, b.Size)
+		blocks[b.Rank] = b.positions()
+		cur := blocks[b.Rank]
+		curOwner := b.Rank
+		right := (b.Rank + 1) % b.Size
+		left := (b.Rank + b.Size - 1) % b.Size
+		for h := 1; h < b.Size; h++ {
+			e.Send(right, tagRing, encodeBlock(curOwner, cur))
+			curOwner, cur = decodeBlock(e.Recv(left, tagRing).Data)
+			blocks[curOwner] = cur
+		}
+		for blk := 0; blk < b.Size; blk++ {
+			b.accumulate(ax, ay, az, blk, blocks[blk])
+			e.Compute(float64(n*len(blocks[blk].X)) * b.Cfg.OpsPerPair)
+		}
+		dt := b.Cfg.DT
+		for i := range b.Bodies {
+			bd := &b.Bodies[i]
+			bd.VX += ax[i] * dt
+			bd.VY += ay[i] * dt
+			bd.VZ += az[i] * dt
+			bd.X += bd.VX * dt
+			bd.Y += bd.VY * dt
+			bd.Z += bd.VZ * dt
+		}
+		b.Step++
+	}
+}
+
+// accumulate adds the gravitational pull of a block onto the local bodies.
+func (b *NBody) accumulate(ax, ay, az []float64, blk int, s blockSnapshot) {
+	const eps = 1e-4
+	for i := range b.Bodies {
+		bi := &b.Bodies[i]
+		gi := b.lo + i
+		for j := range s.X {
+			gj := blk*len(s.X) + j
+			if gi == gj {
+				continue
+			}
+			dx := s.X[j] - bi.X
+			dy := s.Y[j] - bi.Y
+			dz := s.Z[j] - bi.Z
+			r2 := dx*dx + dy*dy + dz*dz + eps
+			inv := s.Mass[j] / (r2 * math.Sqrt(r2))
+			ax[i] += dx * inv
+			ay[i] += dy * inv
+			az[i] += dz * inv
+		}
+	}
+}
+
+// Snapshot captures the step counter and local bodies.
+func (b *NBody) Snapshot() []byte {
+	w := codec.NewWriter()
+	w.Int(b.Step)
+	w.Int(len(b.Bodies))
+	for _, bd := range b.Bodies {
+		w.F64(bd.X)
+		w.F64(bd.Y)
+		w.F64(bd.Z)
+		w.F64(bd.VX)
+		w.F64(bd.VY)
+		w.F64(bd.VZ)
+		w.F64(bd.Mass)
+	}
+	return w.Bytes()
+}
+
+// Restore resets the program to a snapshot taken at a step boundary.
+func (b *NBody) Restore(data []byte) {
+	r := codec.NewReader(data)
+	b.Step = r.Int()
+	n := r.Int()
+	b.Bodies = make([]Body, n)
+	for i := range b.Bodies {
+		bd := &b.Bodies[i]
+		bd.X, bd.Y, bd.Z = r.F64(), r.F64(), r.F64()
+		bd.VX, bd.VY, bd.VZ = r.F64(), r.F64(), r.F64()
+		bd.Mass = r.F64()
+	}
+	if r.Err() != nil {
+		panic(r.Err())
+	}
+}
+
+// SequentialNBody integrates the full system, summing forces block by block
+// in the same order as the parallel ring so results are bit-identical.
+// blocks is the number of ranks the parallel run used.
+func SequentialNBody(cfg NBodyConfig, blocks int) []Body {
+	bodies := make([]Body, cfg.N)
+	for i := range bodies {
+		bodies[i] = initialBody(cfg, i)
+	}
+	per := cfg.N / blocks
+	const eps = 1e-4
+	for step := 0; step < cfg.Steps; step++ {
+		ax := make([]float64, cfg.N)
+		ay := make([]float64, cfg.N)
+		az := make([]float64, cfg.N)
+		// Positions are frozen for the whole step (the parallel version
+		// ships pre-step positions around the ring).
+		type pos struct{ x, y, z, m float64 }
+		ps := make([]pos, cfg.N)
+		for i, b := range bodies {
+			ps[i] = pos{b.X, b.Y, b.Z, b.Mass}
+		}
+		for i := range bodies {
+			for blk := 0; blk < blocks; blk++ {
+				for j := blk * per; j < (blk+1)*per; j++ {
+					if i == j {
+						continue
+					}
+					dx := ps[j].x - ps[i].x
+					dy := ps[j].y - ps[i].y
+					dz := ps[j].z - ps[i].z
+					r2 := dx*dx + dy*dy + dz*dz + eps
+					inv := ps[j].m / (r2 * math.Sqrt(r2))
+					ax[i] += dx * inv
+					ay[i] += dy * inv
+					az[i] += dz * inv
+				}
+			}
+		}
+		dt := cfg.DT
+		for i := range bodies {
+			b := &bodies[i]
+			b.VX += ax[i] * dt
+			b.VY += ay[i] * dt
+			b.VZ += az[i] * dt
+			b.X += b.VX * dt
+			b.Y += b.VY * dt
+			b.Z += b.VZ * dt
+		}
+	}
+	return bodies
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/codec"
+	"repro/internal/mp"
+)
+
+// ringState is a synthetic iterative workload used by the calibration
+// experiments: a neighbour exchange around a ring with a configurable state
+// footprint, fully phase-encoded so it is also recovery-consistent.
+type ringState struct {
+	Rank, Size, Iters int
+	PerIterOps        float64
+
+	Iter  int
+	Phase int
+	Acc   int64
+	Pad   []byte
+}
+
+func (r *ringState) Run(e *mp.Env) {
+	right := (r.Rank + 1) % r.Size
+	left := (r.Rank + r.Size - 1) % r.Size
+	for r.Iter < r.Iters {
+		if r.Phase == 0 {
+			e.Compute(r.PerIterOps)
+			w := codec.NewWriter()
+			w.I64(int64(r.Rank+1) * int64(r.Iter+1))
+			e.Send(right, 1, w.Bytes())
+			r.Phase = 1
+		}
+		m := e.Recv(left, 1)
+		r.Acc += codec.NewReader(m.Data).I64()
+		r.Phase = 0
+		r.Iter++
+	}
+}
+
+func (r *ringState) Snapshot() []byte {
+	w := codec.NewWriter()
+	w.Int(r.Iter)
+	w.Int(r.Phase)
+	w.I64(r.Acc)
+	w.Bytes8(r.Pad)
+	return w.Bytes()
+}
+
+func (r *ringState) Restore(data []byte) {
+	rd := codec.NewReader(data)
+	r.Iter = rd.Int()
+	r.Phase = rd.Int()
+	r.Acc = rd.I64()
+	r.Pad = rd.Bytes8()
+	if rd.Err() != nil {
+		panic(rd.Err())
+	}
+}
+
+// syntheticWorkload returns a ring workload with the given per-node state
+// size on the default 8-node machine.
+func syntheticWorkload(stateBytes int) apps.Workload {
+	return syntheticWorkloadN(stateBytes, 8)
+}
+
+// syntheticWorkloadN returns a ring workload for an n-node machine.
+func syntheticWorkloadN(stateBytes, n int) apps.Workload {
+	const iters = 600
+	return apps.Workload{
+		Name: fmt.Sprintf("RING-%dB", stateBytes),
+		Make: func(rank, size int) mp.Program {
+			return &ringState{Rank: rank, Size: size, Iters: iters, PerIterOps: 5e5,
+				Pad: make([]byte, stateBytes)}
+		},
+		Check: func(progs []mp.Program) error {
+			for rank, p := range progs {
+				r := p.(*ringState)
+				left := (rank + n - 1) % n
+				var want int64
+				for i := 0; i < iters; i++ {
+					want += int64(left+1) * int64(i+1)
+				}
+				if r.Acc != want {
+					return fmt.Errorf("ring: rank %d acc = %d, want %d", rank, r.Acc, want)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Row holds one workload's measurements across schemes.
+type Row struct {
+	Workload string
+	Normal   sim.Duration
+	Interval sim.Duration
+	Ckpts    int                           // checkpoints requested per run
+	Exec     map[ckpt.Variant]sim.Duration // raw execution time per scheme
+	Done     map[ckpt.Variant]float64      // checkpoint generations actually completed
+
+	// Independent timers drift (each arms after the previous checkpoint
+	// completes), so near the end of a run a generation may not finish; raw
+	// execution times would then undercount that scheme's overhead. All
+	// derived quantities therefore normalize the overhead to the requested
+	// generation count.
+}
+
+// done returns the completed generations for v, defaulting to the request.
+func (r Row) done(v ckpt.Variant) float64 {
+	if d, ok := r.Done[v]; ok && d > 0 {
+		return d
+	}
+	return float64(r.Ckpts)
+}
+
+// Overhead returns the total checkpointing overhead of a scheme, normalized
+// to the requested number of checkpoints.
+func (r Row) Overhead(v ckpt.Variant) sim.Duration {
+	raw := float64(r.Exec[v] - r.Normal)
+	return sim.Duration(raw * float64(r.Ckpts) / r.done(v))
+}
+
+// AdjustedExec is the execution time with the normalized overhead.
+func (r Row) AdjustedExec(v ckpt.Variant) sim.Duration { return r.Normal + r.Overhead(v) }
+
+// PerCkpt returns the overhead per checkpoint, the quantity of Table 1.
+func (r Row) PerCkpt(v ckpt.Variant) sim.Duration {
+	return sim.Duration(float64(r.Exec[v]-r.Normal) / r.done(v))
+}
+
+// Percent returns the relative overhead in percent, the quantity of Table 3.
+func (r Row) Percent(v ckpt.Variant) float64 {
+	return 100 * float64(r.Overhead(v)) / float64(r.Normal)
+}
+
+// Progress receives one line per completed run; nil is silent.
+type Progress func(format string, args ...any)
+
+func (p Progress) logf(format string, args ...any) {
+	if p != nil {
+		p(format, args...)
+	}
+}
+
+// MeasureRows runs every workload normally and under each scheme with
+// `ckpts` checkpoints at interval normal/(ckpts+1), and returns one Row per
+// workload. This is the measurement procedure behind all three tables: the
+// paper ran each application unchanged, then under each checkpointing
+// scheme, with 3 checkpoints spread over the execution.
+func MeasureRows(cfg par.Config, wls []apps.Workload, schemes []ckpt.Variant, ckpts int, prog Progress) ([]Row, error) {
+	rows := make([]Row, 0, len(wls))
+	for _, wl := range wls {
+		base, err := core.Run(wl, core.Config{Machine: cfg})
+		if err != nil {
+			return nil, err
+		}
+		row := Row{
+			Workload: wl.Name,
+			Normal:   base.Exec,
+			Interval: base.Exec / sim.Duration(ckpts+1),
+			Ckpts:    ckpts,
+			Exec:     map[ckpt.Variant]sim.Duration{},
+			Done:     map[ckpt.Variant]float64{},
+		}
+		prog.logf("%-12s normal %8.2fs  (interval %.0fs)", wl.Name, base.Exec.Seconds(), row.Interval.Seconds())
+		for _, v := range schemes {
+			res, err := core.Run(wl, core.Config{
+				Machine:        cfg,
+				Scheme:         v,
+				Interval:       row.Interval,
+				MaxCheckpoints: ckpts,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s under %v: %w", wl.Name, v, err)
+			}
+			got := float64(res.Ckpt.Rounds)
+			if !v.Coordinated() {
+				got = float64(res.Ckpt.Checkpoints) / float64(cfg.Fabric.Nodes())
+			}
+			if got != float64(ckpts) {
+				prog.logf("  note: %s under %v completed %.2f/%d checkpoints (overhead normalized)", wl.Name, v, got, ckpts)
+			}
+			row.Exec[v] = res.Exec
+			row.Done[v] = got
+			prog.logf("  %-12s %8.2fs  (+%.2fs, %.2f%%)", v, res.Exec.Seconds(),
+				row.Overhead(v).Seconds(), row.Percent(v))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteTable1 renders the Table 1 reproduction: overhead per checkpoint in
+// seconds for each scheme, in the paper's column order.
+func WriteTable1(w io.Writer, rows []Row) {
+	t := trace.NewTable("Table 1: overhead per checkpoint (seconds)",
+		"Application", "NB", "Indep", "NBM", "Indep_M", "NBMS").Align(1, 2, 3, 4, 5)
+	for _, r := range rows {
+		t.Rowf(r.Workload,
+			r.PerCkpt(ckpt.CoordNB).Seconds(),
+			r.PerCkpt(ckpt.Indep).Seconds(),
+			r.PerCkpt(ckpt.CoordNBM).Seconds(),
+			r.PerCkpt(ckpt.IndepM).Seconds(),
+			r.PerCkpt(ckpt.CoordNBMS).Seconds())
+	}
+	t.Write(w)
+	nbWins, indepWins := 0, 0
+	nbmWins, indepMWins := 0, 0
+	nbmsBeatsIndepM := 0
+	for _, r := range rows {
+		if r.PerCkpt(ckpt.CoordNB) <= r.PerCkpt(ckpt.Indep) {
+			nbWins++
+		} else {
+			indepWins++
+		}
+		if r.PerCkpt(ckpt.CoordNBM) <= r.PerCkpt(ckpt.IndepM) {
+			nbmWins++
+		} else {
+			indepMWins++
+		}
+		if r.PerCkpt(ckpt.CoordNBMS) <= r.PerCkpt(ckpt.IndepM) {
+			nbmsBeatsIndepM++
+		}
+	}
+	fmt.Fprintf(w, "\nNB vs Indep: NB better or equal in %d of %d, Indep better in %d (paper: 15 vs 6)\n",
+		nbWins, len(rows), indepWins)
+	fmt.Fprintf(w, "NBM vs Indep_M: Indep_M better in %d of %d, NBM better in %d (paper: 12 vs 3)\n",
+		indepMWins, len(rows), nbmWins)
+	fmt.Fprintf(w, "NBMS better or equal to Indep_M in %d of %d (paper: all)\n",
+		nbmsBeatsIndepM, len(rows))
+}
+
+// WriteTable2 renders the Table 2 reproduction: execution times with 3
+// checkpoints.
+func WriteTable2(w io.Writer, rows []Row) {
+	t := trace.NewTable("Table 2: execution times (seconds), 3 checkpoints per run (overhead normalized to 3 completed checkpoints)",
+		"Application", "Normal", "Coord_NB", "Indep", "Coord_NBMS", "Indep_M").Align(1, 2, 3, 4, 5)
+	for _, r := range rows {
+		t.Rowf(r.Workload,
+			r.Normal.Seconds(),
+			r.AdjustedExec(ckpt.CoordNB).Seconds(),
+			r.AdjustedExec(ckpt.Indep).Seconds(),
+			r.AdjustedExec(ckpt.CoordNBMS).Seconds(),
+			r.AdjustedExec(ckpt.IndepM).Seconds())
+	}
+	t.Write(w)
+}
+
+// WriteTable3 renders the Table 3 reproduction: percentage overheads plus
+// the checkpoint interval, and the NB→NBMS reduction factors the paper
+// highlights (a factor of 4 up to 17).
+func WriteTable3(w io.Writer, rows []Row) {
+	t := trace.NewTable("Table 3: performance overhead of the checkpointing schemes",
+		"Application", "Interval(s)", "Coord_NB %", "Indep %", "Coord_NBMS %", "Indep_M %", "NB/NBMS").Align(1, 2, 3, 4, 5, 6)
+	for _, r := range rows {
+		reduction := "-"
+		if nbms := r.Percent(ckpt.CoordNBMS); nbms > 0 {
+			reduction = fmt.Sprintf("%.1fx", r.Percent(ckpt.CoordNB)/nbms)
+		}
+		t.Rowf(r.Workload,
+			fmt.Sprintf("%.0f", r.Interval.Seconds()),
+			r.Percent(ckpt.CoordNB),
+			r.Percent(ckpt.Indep),
+			r.Percent(ckpt.CoordNBMS),
+			r.Percent(ckpt.IndepM),
+			reduction)
+	}
+	t.Write(w)
+}

@@ -1,0 +1,450 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mp"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// coordinated implements the Silva & Silva coordinator-driven two-phase
+// global checkpointing protocol with channel markers.
+//
+// Round structure (round numbers start at 1):
+//
+//  1. The coordinator (node 0) sends a checkpoint request to every node's
+//     daemon.
+//  2. Each node, on its request (or on the first marker of the round,
+//     whichever arrives first), begins quarantining post-marker messages and
+//     posts a checkpoint action to its application.
+//  3. The action runs at the application's next safe point: it snapshots
+//     the program state, captures unconsumed in-transit messages as channel
+//     state, releases the quarantine, and sends markers on all channels.
+//     Depending on the variant the application then blocks for the memory
+//     copy (NBM/NBMS), the stable-storage write (NB), or the whole protocol
+//     (B).
+//  4. The daemon writes the state (NBMS: after acquiring the staggering
+//     token) and, once all markers arrived, the channel log — both durably,
+//     to uniquely named per-round files — then acks the coordinator.
+//  5. On all acks the coordinator durably writes the round record (the
+//     commit point), then broadcasts commit; nodes garbage-collect the
+//     previous round's files.
+type coordinated struct {
+	v     Variant
+	opt   Options
+	m     *par.Machine
+	nodes []*coordNode
+
+	round          int // last initiated round
+	committedRound int
+	acks           map[int]bool
+	roundStart     sim.Time
+	stopped        bool
+	commitBusy     bool
+	pendingStart   bool // the cadence timer fired while a round was in flight
+
+	stats   Stats
+	records []Record
+	pending []Record // records of the in-flight round, promoted at commit
+}
+
+func newCoordinated(v Variant, opt Options) *coordinated {
+	return &coordinated{v: v, opt: opt, round: opt.StartRound, committedRound: opt.StartRound}
+}
+
+func (s *coordinated) Name() string     { return s.v.String() }
+func (s *coordinated) Variant() Variant { return s.v }
+func (s *coordinated) Stats() Stats     { return s.stats }
+func (s *coordinated) Stop()            { s.stopped = true }
+
+func (s *coordinated) Records() []Record {
+	return append([]Record(nil), s.records...)
+}
+
+// Attach installs the protocol on the machine and arms the first round.
+func (s *coordinated) Attach(m *par.Machine) {
+	s.m = m
+	s.acks = make(map[int]bool)
+	s.nodes = make([]*coordNode, m.NumNodes())
+	for i, n := range m.Nodes {
+		cn := &coordNode{s: s, n: n}
+		cn.jobs = sim.NewMailbox[func(p *sim.Proc)](m.Eng)
+		s.nodes[i] = cn
+		n.DeliverHook = cn.hook
+		m.StartDaemon(i, fmt.Sprintf("ckptd%d", i), cn.daemonLoop)
+	}
+	m.OnAllAppsDone(s.Stop)
+	m.OnAppExit(func(nodeID int) { s.nodes[nodeID].onAppExit() })
+	m.Eng.After(s.opt.firstAt(), s.startRound)
+}
+
+// EnqueueJob schedules work on a node's checkpointer daemon (used by the
+// recovery manager to perform stable-storage reads).
+func (s *coordinated) EnqueueJob(rank int, job func(p *sim.Proc)) {
+	s.nodes[rank].jobs.Put(job)
+}
+
+// startRound initiates a round at the cadence of Options.Interval: the next
+// timer is armed immediately, so rounds fire at a fixed rate (as a real
+// coordinator's periodic timer does); if a round is still in flight when the
+// timer fires, the next round starts right after its commit.
+func (s *coordinated) startRound() {
+	if s.stopped {
+		return
+	}
+	if s.opt.MaxCheckpoints > 0 && s.round-s.opt.StartRound >= s.opt.MaxCheckpoints {
+		return
+	}
+	if s.round != s.committedRound {
+		s.pendingStart = true // previous round still in flight
+		return
+	}
+	if s.opt.Interval > 0 {
+		s.m.Eng.After(s.opt.Interval, s.startRound)
+	}
+	s.round++
+	s.roundStart = s.m.Eng.Now()
+	s.acks = make(map[int]bool)
+	s.pending = nil
+	coord := s.m.Nodes[0]
+	for i := range s.nodes {
+		s.proto(1)
+		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCkptReq{Round: s.round}, sizeCtl)
+	}
+}
+
+func (s *coordinated) proto(n int) {
+	s.stats.ProtoMsgs += int64(n)
+	s.stats.ProtoBytes += int64(n * sizeCtl)
+}
+
+// onAck runs at the coordinator when a node's ack arrives.
+func (s *coordinated) onAck(ackRound, from int) {
+	if ackRound != s.round || s.acks[from] {
+		return
+	}
+	s.acks[from] = true
+	if len(s.acks) < len(s.nodes) || s.commitBusy {
+		return
+	}
+	// Phase 2: durably record the round (the commit point), then broadcast.
+	s.commitBusy = true
+	round := s.round
+	s.nodes[0].jobs.Put(func(p *sim.Proc) {
+		w := newMetaRecord(round)
+		s.nodes[0].n.StorageCall(p, storage.Request{
+			Op: storage.OpWrite, Path: coordMetaPath, Data: w, Durable: true,
+		})
+		s.commitRound(round)
+	})
+}
+
+func (s *coordinated) commitRound(round int) {
+	s.commitBusy = false
+	s.committedRound = round
+	s.records = append(s.records, s.pending...)
+	s.pending = nil
+	s.stats.Rounds++
+	s.stats.Checkpoints += len(s.nodes)
+	s.stats.RoundLatency = append(s.stats.RoundLatency, s.m.Eng.Now().Sub(s.roundStart))
+	coord := s.m.Nodes[0]
+	for i := range s.nodes {
+		s.proto(1)
+		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCommit{Round: round}, sizeCtl)
+	}
+	if s.pendingStart {
+		s.pendingStart = false
+		s.startRound()
+	}
+}
+
+// coordNode is the per-node protocol participant.
+type coordNode struct {
+	s *coordinated
+	n *par.Node
+
+	round        int // active round, 0 when idle
+	snapshotDone bool
+	markerSeen   []bool
+	markersLeft  int
+	quarantine   []*fabric.Envelope
+	chanLog      []*mp.Message
+	stateBuf     []byte
+
+	stateWritten, chanQueued, chanWritten, acked bool
+
+	appGate   *sim.Gate // blocks the application in B and NB
+	tokenGate *sim.Gate // staggering token (NBMS)
+
+	jobs *sim.Mailbox[func(p *sim.Proc)]
+}
+
+func (cn *coordNode) daemonLoop(p *sim.Proc) {
+	for {
+		job := cn.jobs.GetAny(p)
+		job(p)
+	}
+}
+
+// hook intercepts every envelope delivered to the node; it runs in engine
+// context so markers take effect instantly even when the daemon is busy.
+func (cn *coordNode) hook(env *fabric.Envelope) bool {
+	switch msg := env.Payload.(type) {
+	case msgCkptReq:
+		if msg.Round > cn.s.committedRound && cn.round == 0 {
+			cn.beginRound(msg.Round)
+		}
+		return true
+	case msgMarker:
+		if msg.Round <= cn.s.committedRound && msg.Round != cn.round {
+			return true // stale marker from an already-committed round
+		}
+		if cn.round != 0 && msg.Round == cn.round+1 {
+			// A marker of the next round can outrun our commit message (they
+			// come from different senders, so FIFO does not order them). The
+			// coordinator only starts round r+1 after round r committed, so
+			// the marker itself proves the commit: finish locally first.
+			cn.finishRound()
+		}
+		if cn.round == 0 {
+			cn.beginRound(msg.Round) // marker outran the request
+		}
+		if msg.Round != cn.round {
+			panic(fmt.Sprintf("ckpt: node %d marker for round %d during round %d", cn.n.ID, msg.Round, cn.round))
+		}
+		if !cn.markerSeen[msg.From] {
+			cn.markerSeen[msg.From] = true
+			cn.markersLeft--
+			cn.maybeFinishLogging()
+		}
+		return true
+	case msgCommit:
+		if cn.round == msg.Round {
+			cn.finishRound()
+		}
+		// No garbage collection needed: the slot of round-1 is overwritten
+		// by round+1's files.
+		return true
+	case msgToken:
+		if cn.round == msg.Round && cn.tokenGate != nil {
+			cn.tokenGate.Open()
+		}
+		return true
+	case msgAck:
+		cn.s.onAck(msg.Round, msg.From)
+		return true
+	case *mp.Message:
+		return cn.hookAppMsg(env, msg)
+	}
+	return false
+}
+
+// hookAppMsg applies the channel-state rules of the snapshot algorithm.
+func (cn *coordNode) hookAppMsg(env *fabric.Envelope, msg *mp.Message) bool {
+	if cn.round == 0 || msg.Src == cn.n.ID {
+		return false
+	}
+	switch {
+	case cn.markerSeen[msg.Src] && !cn.snapshotDone:
+		// Sent after the sender's checkpoint but we have not checkpointed
+		// yet: quarantining it keeps it out of our checkpointed state,
+		// preventing orphan messages.
+		cn.quarantine = append(cn.quarantine, env)
+		return true
+	case !cn.markerSeen[msg.Src] && cn.snapshotDone:
+		// Sent before the sender's checkpoint, received after ours: channel
+		// state. Log a copy and deliver normally.
+		cn.chanLog = append(cn.chanLog, msg)
+		return false
+	}
+	return false
+}
+
+// finishRound concludes the node's participation in the active round, on
+// the commit message or on evidence that the commit happened.
+func (cn *coordNode) finishRound() {
+	cn.round = 0
+	if cn.s.v == CoordB && cn.appGate != nil {
+		cn.appGate.Open()
+	}
+}
+
+func (cn *coordNode) beginRound(round int) {
+	if cn.round != 0 {
+		panic(fmt.Sprintf("ckpt: node %d beginRound(%d) while round %d active", cn.n.ID, round, cn.round))
+	}
+	n := len(cn.s.nodes)
+	cn.round = round
+	cn.snapshotDone = false
+	cn.markerSeen = make([]bool, n)
+	cn.markersLeft = n - 1
+	cn.quarantine = nil
+	cn.chanLog = nil
+	cn.stateBuf = nil
+	cn.stateWritten, cn.chanQueued, cn.chanWritten, cn.acked = false, false, false, false
+	cn.appGate = sim.NewGate(cn.n.M.Eng)
+	cn.tokenGate = sim.NewGate(cn.n.M.Eng)
+	if cn.s.v == CoordNBMS && cn.n.ID == 0 {
+		cn.tokenGate.Open() // the ring starts at the coordinator's node
+	}
+	if cn.n.Snap != nil && (cn.n.AppProc == nil || cn.n.AppProc.Done()) {
+		// The application already finished: checkpoint its final state
+		// directly so the round can still commit.
+		cn.takeTentative(nil, round)
+		return
+	}
+	// Either the application is running or it has not been (re)launched yet
+	// (recovery in progress); in both cases the action runs at its first
+	// safe point.
+	cn.n.PostAction(ckptAction{cn: cn, round: round})
+}
+
+// onAppExit completes the node's part of an in-flight round when its
+// application finishes before reaching a safe point.
+func (cn *coordNode) onAppExit() {
+	if cn.n.Alive && cn.n.Snap != nil && cn.round != 0 && !cn.snapshotDone {
+		cn.takeTentative(nil, cn.round)
+	}
+}
+
+// ckptAction runs in the application process at its next safe point.
+type ckptAction struct {
+	cn    *coordNode
+	round int
+}
+
+// Run takes the local tentative checkpoint at the application's safe point.
+func (a ckptAction) Run(p *sim.Proc, n *par.Node) {
+	if a.cn.round != a.round {
+		return // round was torn down (crash) before the app reached a safe point
+	}
+	a.cn.takeTentative(p, a.round)
+}
+
+// takeTentative performs the local checkpoint: state snapshot, channel-state
+// capture, quarantine release, marker flood, then the variant's blocking
+// behaviour. p is the application process, or nil when the application has
+// already finished (its final state is checkpointed without blocking).
+func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
+	n := cn.n
+	s := cn.s
+	var start sim.Time
+	if p != nil {
+		start = p.Now()
+	}
+	state := padImage(n.Snap.Snapshot(), n.M.Cfg.CkptImageBytes)
+	if s.v.MemBuffered() && p != nil {
+		// Main-memory checkpointing: the application pays only for the copy.
+		d := n.M.MemCopyTime(len(state))
+		p.Sleep(d)
+		s.stats.MemCopyTime += d
+	}
+	cn.stateBuf = state
+	cn.snapshotDone = true
+	// Unconsumed messages already delivered are part of the channel state:
+	// they were sent before their senders' markers.
+	for _, env := range n.AppBox.Items() {
+		if m, ok := env.Payload.(*mp.Message); ok && m.Src != n.ID {
+			cn.chanLog = append(cn.chanLog, m)
+		}
+	}
+	// Post-marker messages held back during the window become visible now.
+	for _, env := range cn.quarantine {
+		n.AppBox.Put(env)
+	}
+	cn.quarantine = nil
+	// Flood markers; FIFO channels guarantee they delimit pre- from
+	// post-checkpoint traffic.
+	for dst := range s.nodes {
+		if dst == n.ID {
+			continue
+		}
+		s.proto(1)
+		n.Send(p, fabric.NodeID(dst), par.PortDaemon, msgMarker{Round: round, From: n.ID}, sizeCtl)
+	}
+	cn.maybeFinishLogging()
+	cn.jobs.Put(cn.writeStateJob(round, state))
+	if p == nil {
+		return
+	}
+	switch s.v {
+	case CoordB, CoordNB:
+		cn.appGate.Wait(p) // opened on write completion (NB) or commit (B)
+	}
+	s.stats.AppBlocked += p.Now().Sub(start)
+}
+
+// writeStateJob writes the buffered state durably; in NBMS it first waits
+// for the staggering token and passes it on afterwards.
+func (cn *coordNode) writeStateJob(round int, state []byte) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		s := cn.s
+		if s.v == CoordNBMS {
+			cn.tokenGate.Wait(p)
+		}
+		writeSegmented(p, cn.n, coordStatePath(round, cn.n.ID), state, true)
+		s.stats.StateBytes += int64(len(state))
+		s.pending = append(s.pending, Record{
+			Rank: cn.n.ID, Index: round, At: p.Now(), StateBytes: len(state),
+		})
+		cn.stateWritten = true
+		if s.v == CoordNB {
+			cn.appGate.Open()
+		}
+		if s.v == CoordNBMS {
+			if next := cn.n.ID + 1; next < len(s.nodes) {
+				s.proto(1)
+				cn.n.Send(p, fabric.NodeID(next), par.PortDaemon, msgToken{Round: round}, sizeCtl)
+			}
+		}
+		cn.maybeAck(p, round)
+	}
+}
+
+// maybeFinishLogging queues the channel-log write once the snapshot is taken
+// and all markers have arrived (the log is final then).
+func (cn *coordNode) maybeFinishLogging() {
+	if !cn.snapshotDone || cn.markersLeft > 0 || cn.chanQueued {
+		return
+	}
+	cn.chanQueued = true
+	round := cn.round
+	logCopy := cn.chanLog
+	if len(logCopy) == 0 {
+		// An empty channel: delete any stale log left in this slot by round
+		// round-2 (recovery treats a missing log file as empty).
+		cn.chanWritten = true
+		cn.jobs.Put(func(p *sim.Proc) {
+			cn.n.StorageCall(p, storage.Request{Op: storage.OpDelete, Path: coordChanPath(round, cn.n.ID)})
+			cn.maybeAck(p, round)
+		})
+		return
+	}
+	cn.jobs.Put(func(p *sim.Proc) {
+		data := encodeChanLog(logCopy)
+		cn.n.StorageCall(p, storage.Request{
+			Op: storage.OpWrite, Path: coordChanPath(round, cn.n.ID),
+			Data: data, Durable: true,
+		})
+		cn.s.stats.ChanBytes += int64(len(data))
+		for i := range cn.s.pending {
+			if cn.s.pending[i].Rank == cn.n.ID && cn.s.pending[i].Index == round {
+				cn.s.pending[i].ChanBytes = len(data)
+			}
+		}
+		cn.chanWritten = true
+		cn.maybeAck(p, round)
+	})
+}
+
+func (cn *coordNode) maybeAck(p *sim.Proc, round int) {
+	if !cn.stateWritten || !cn.chanWritten || cn.acked {
+		return
+	}
+	cn.acked = true
+	cn.s.proto(1)
+	cn.n.Send(p, 0, par.PortDaemon, msgAck{Round: round, From: cn.n.ID}, sizeCtl)
+}

@@ -1,0 +1,93 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/mp"
+)
+
+// encodeChanLog serializes logged in-transit messages for stable storage.
+func encodeChanLog(msgs []*mp.Message) []byte {
+	w := codec.NewWriter()
+	w.Int(len(msgs))
+	for _, m := range msgs {
+		w.Int(m.Src)
+		w.Int(m.Tag)
+		w.U64(m.Meta)
+		w.Bytes8(m.Data)
+	}
+	return w.Bytes()
+}
+
+// decodeChanLog parses a channel log written by encodeChanLog.
+func decodeChanLog(b []byte) ([]*mp.Message, error) {
+	r := codec.NewReader(b)
+	n := r.Int()
+	if n < 0 || r.Err() != nil {
+		return nil, fmt.Errorf("ckpt: corrupt channel log header")
+	}
+	msgs := make([]*mp.Message, 0, n)
+	for i := 0; i < n; i++ {
+		m := &mp.Message{Src: r.Int(), Tag: r.Int(), Meta: r.U64(), Data: r.Bytes8()}
+		msgs = append(msgs, m)
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("ckpt: corrupt channel log: %v", r.Err())
+	}
+	return msgs, nil
+}
+
+// newMetaRecord encodes the coordinator's durable round record.
+func newMetaRecord(round int) []byte {
+	w := codec.NewWriter()
+	w.Int(round)
+	return w.Bytes()
+}
+
+// parseMetaRecord decodes the round record; a missing record means no round
+// ever committed (round 0).
+func parseMetaRecord(b []byte) (int, error) {
+	r := codec.NewReader(b)
+	round := r.Int()
+	if r.Err() != nil {
+		return 0, fmt.Errorf("ckpt: corrupt round record: %v", r.Err())
+	}
+	return round, nil
+}
+
+// encodeIndepCkpt packs an independent checkpoint file: per-interval
+// dependency metadata, the program state, and the message layer's state
+// (sequence counters, needed by log-based recovery).
+func encodeIndepCkpt(index int, deps []Dep, state, lib []byte) []byte {
+	w := codec.NewWriter()
+	w.Int(index)
+	w.Int(len(deps))
+	for _, d := range deps {
+		w.Int(d.SrcRank)
+		w.U64(d.SrcIndex)
+	}
+	w.Bytes8(state)
+	w.Bytes8(lib)
+	return w.Bytes()
+}
+
+// decodeIndepCkpt unpacks an independent checkpoint file.
+func decodeIndepCkpt(b []byte) (index int, deps []Dep, state, lib []byte, err error) {
+	r := codec.NewReader(b)
+	index = r.Int()
+	n := r.Int()
+	if r.Err() != nil || n < 0 {
+		return 0, nil, nil, nil, fmt.Errorf("ckpt: corrupt independent checkpoint header")
+	}
+	deps = make([]Dep, 0, n)
+	for i := 0; i < n; i++ {
+		deps = append(deps, Dep{SrcRank: r.Int(), SrcIndex: r.U64()})
+	}
+	state = r.Bytes8()
+	lib = r.Bytes8()
+	if r.Err() != nil {
+		return 0, nil, nil, nil, fmt.Errorf("ckpt: corrupt independent checkpoint: %v", r.Err())
+	}
+	return index, deps, state, lib, nil
+}

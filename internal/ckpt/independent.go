@@ -1,0 +1,275 @@
+package ckpt
+
+import (
+	"fmt"
+	"repro/internal/fabric"
+	"repro/internal/mp"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// independent implements uncoordinated checkpointing: every node checkpoints
+// on a local timer with no synchronization or protocol messages. Each
+// node's next timer is armed only when its previous checkpoint has fully
+// reached stable storage, so timers that start synchronized drift apart as
+// the storage queue delays them differently — the natural staggering the
+// paper observes in the Indep_M results.
+//
+// Checkpoint-interval dependencies (needed to compute a recovery line and to
+// study the domino effect) are tracked by piggybacking the sender's current
+// interval index on every message and recording it when the receiver
+// consumes the message; the edges of the interval being closed are persisted
+// inside the checkpoint file.
+type independent struct {
+	v     Variant
+	opt   Options
+	m     *par.Machine
+	nodes []*indepNode
+
+	stopped bool
+	stats   Stats
+	records []Record
+}
+
+func newIndependent(v Variant, opt Options) *independent {
+	return &independent{v: v, opt: opt}
+}
+
+func (s *independent) Name() string     { return s.v.String() }
+func (s *independent) Variant() Variant { return s.v }
+func (s *independent) Stats() Stats     { return s.stats }
+func (s *independent) Stop()            { s.stopped = true }
+
+// Records returns committed checkpoints ordered by completion time (ties by
+// rank) — the order they became durable.
+func (s *independent) Records() []Record {
+	out := append([]Record(nil), s.records...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Attach installs the per-node timers, hooks and daemons.
+func (s *independent) Attach(m *par.Machine) {
+	s.m = m
+	s.nodes = make([]*indepNode, m.NumNodes())
+	for i := range m.Nodes {
+		in := &indepNode{s: s, deps: make(map[Dep]struct{})}
+		in.jobs = sim.NewMailbox[func(p *sim.Proc)](m.Eng)
+		s.nodes[i] = in
+		s.attachNode(i)
+		m.Eng.After(s.opt.firstAt()+sim.Duration(i)*s.opt.Spread, in.timerFire)
+	}
+	m.OnAllAppsDone(s.Stop)
+}
+
+// attachNode (re)binds the scheme's per-node hooks and daemon; recovery of a
+// restarted node calls it again after Node.Restart cleared them.
+func (s *independent) attachNode(i int) {
+	in := s.nodes[i]
+	n := s.m.Nodes[i]
+	in.n = n
+	n.OutMeta = in.outMeta
+	n.OnConsume = in.onConsume
+	if s.v == IndepLog {
+		n.LogSend = in.logSend
+		n.DeliverHook = in.hook
+	}
+	s.m.StartDaemon(i, fmt.Sprintf("ckptd%d", i), in.daemonLoop)
+}
+
+// EnqueueJob schedules work on a node's checkpointer daemon (used by the
+// recovery manager to perform stable-storage reads).
+func (s *independent) EnqueueJob(rank int, job func(p *sim.Proc)) {
+	s.nodes[rank].jobs.Put(job)
+}
+
+// logEntry is one logged outgoing message in a sender's volatile log.
+type logEntry struct {
+	dst int
+	msg *mp.Message
+}
+
+// indepNode is one node's autonomous checkpointer.
+type indepNode struct {
+	s *independent
+	n *par.Node
+
+	index int // checkpoints taken; the current interval has this index
+	taken int // counts checkpoints for MaxCheckpoints
+	deps  map[Dep]struct{}
+	busy  bool // a checkpoint is in progress (snapshot through durable write)
+
+	// Sender-based message log (IndepLog): outgoing messages kept in
+	// volatile memory until the receiver's next checkpoint truncates them.
+	log          []logEntry
+	logBytes     int64
+	ckptConsumed []uint64 // per-sender consumed SSNs at the checkpoint being written
+
+	jobs *sim.Mailbox[func(p *sim.Proc)]
+}
+
+func (in *indepNode) daemonLoop(p *sim.Proc) {
+	for {
+		job := in.jobs.GetAny(p)
+		job(p)
+	}
+}
+
+func (in *indepNode) outMeta() uint64 { return uint64(in.index) }
+
+func (in *indepNode) onConsume(src int, meta, ssn uint64) {
+	if src == in.n.ID {
+		return
+	}
+	in.deps[Dep{SrcRank: src, SrcIndex: meta}] = struct{}{}
+}
+
+// logSend records an outgoing application message in the volatile log.
+func (in *indepNode) logSend(dst int, payload any) {
+	msg := payload.(*mp.Message)
+	in.log = append(in.log, logEntry{dst: dst, msg: msg})
+	in.logBytes += int64(len(msg.Data))
+	if in.logBytes > in.s.stats.LogBytesPeak {
+		in.s.stats.LogBytesPeak = in.logBytes
+	}
+}
+
+// hook handles log-truncation notices from checkpointed receivers.
+func (in *indepNode) hook(env *fabric.Envelope) bool {
+	tr, ok := env.Payload.(msgLogTrunc)
+	if !ok {
+		return false
+	}
+	kept := in.log[:0]
+	for _, le := range in.log {
+		if le.dst == tr.From && le.msg.SSN <= tr.UpTo {
+			in.logBytes -= int64(len(le.msg.Data))
+			continue
+		}
+		kept = append(kept, le)
+	}
+	in.log = kept
+	return true
+}
+
+// resend re-transmits all logged messages to a recovering node with
+// sequence numbers beyond what its restored checkpoint had consumed.
+func (in *indepNode) resend(p *sim.Proc, to int, afterSSN uint64) int {
+	count := 0
+	for _, le := range in.log {
+		if le.dst == to && le.msg.SSN > afterSSN {
+			in.n.Send(p, fabric.NodeID(to), par.PortApp, le.msg, len(le.msg.Data))
+			count++
+		}
+	}
+	return count
+}
+
+func (in *indepNode) timerFire() {
+	s := in.s
+	if s.stopped || in.busy {
+		return
+	}
+	if s.opt.MaxCheckpoints > 0 && in.taken >= s.opt.MaxCheckpoints {
+		return
+	}
+	if in.n.AppProc == nil || in.n.AppProc.Done() {
+		return
+	}
+	in.busy = true
+	in.n.PostAction(indepAction{in: in})
+}
+
+// indepAction runs in the application process at its next safe point: it is
+// the local checkpoint operation.
+type indepAction struct{ in *indepNode }
+
+func (a indepAction) Run(p *sim.Proc, n *par.Node) {
+	in := a.in
+	s := in.s
+	start := p.Now()
+	// Close the current interval: its receive edges are persisted with this
+	// checkpoint; messages consumed from now on belong to the next interval.
+	closedDeps := make([]Dep, 0, len(in.deps))
+	for d := range in.deps {
+		closedDeps = append(closedDeps, d)
+	}
+	sort.Slice(closedDeps, func(i, j int) bool {
+		if closedDeps[i].SrcRank != closedDeps[j].SrcRank {
+			return closedDeps[i].SrcRank < closedDeps[j].SrcRank
+		}
+		return closedDeps[i].SrcIndex < closedDeps[j].SrcIndex
+	})
+	in.deps = make(map[Dep]struct{})
+	in.index++
+	in.taken++
+	k := in.index
+	state := padImage(n.Snap.Snapshot(), n.M.Cfg.CkptImageBytes)
+	var lib []byte
+	var consumed []uint64
+	if n.Lib != nil {
+		lib = n.Lib.Snapshot()
+		if lc, ok := n.Lib.(interface{ LastConsumedSSN() []uint64 }); ok && s.v == IndepLog {
+			consumed = lc.LastConsumedSSN()
+		}
+	}
+	in.ckptConsumed = consumed
+
+	if s.v.MemBuffered() {
+		d := n.M.MemCopyTime(len(state))
+		p.Sleep(d)
+		s.stats.MemCopyTime += d
+		s.stats.AppBlocked += p.Now().Sub(start)
+		in.jobs.Put(in.writeJob(k, closedDeps, state, lib, nil))
+		return
+	}
+	// Blocking variant: the application waits for the durable write.
+	gate := sim.NewGate(n.M.Eng)
+	in.jobs.Put(in.writeJob(k, closedDeps, state, lib, gate))
+	gate.Wait(p)
+	s.stats.AppBlocked += p.Now().Sub(start)
+}
+
+// writeJob writes checkpoint k durably, records it, re-arms the node's
+// timer, and opens gate if the application is waiting (Indep).
+func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Gate) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		s := in.s
+		data := encodeIndepCkpt(k, deps, state, lib)
+		writeSegmented(p, in.n, indepPath(in.n.ID, k), data, false)
+		s.stats.StateBytes += int64(len(state))
+		s.stats.Checkpoints++
+		s.records = append(s.records, Record{
+			Rank: in.n.ID, Index: k, At: p.Now(),
+			StateBytes: len(state), Deps: deps,
+		})
+		if gate != nil {
+			gate.Open()
+		}
+		// With the checkpoint durable, senders may discard everything this
+		// node consumed before it: their logged copies can never be needed.
+		if s.v == IndepLog && in.ckptConsumed != nil {
+			for src, upTo := range in.ckptConsumed {
+				if src == in.n.ID || upTo == 0 {
+					continue
+				}
+				s.stats.ProtoMsgs++
+				s.stats.ProtoBytes += sizeCtl
+				in.n.Send(p, fabric.NodeID(src), par.PortDaemon,
+					msgLogTrunc{From: in.n.ID, UpTo: upTo}, sizeCtl)
+			}
+		}
+		in.busy = false
+		// Natural drift: the next local timer counts from completion.
+		if s.opt.Interval > 0 {
+			in.n.M.Eng.After(s.opt.Interval, in.timerFire)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mp"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// jobEnqueuer is implemented by both scheme types: it runs work on a node's
+// checkpointer daemon, which owns the node's storage-reply mailbox.
+type jobEnqueuer interface {
+	EnqueueJob(rank int, job func(p *sim.Proc))
+}
+
+// RecoveryReport describes one recovery from total failure.
+type RecoveryReport struct {
+	StartedAt   sim.Time
+	CompletedAt sim.Time // when the last application process was relaunched
+	Round       int      // recovered round; 0 means restart from the beginning
+	StateBytes  int64    // checkpoint state read back
+	ChanMsgs    int      // in-transit messages restored from channel logs
+	Scheme      Scheme   // the freshly attached scheme of the new incarnation
+	Done        *sim.Gate
+}
+
+// Recover restarts a machine after CrashAll from the last committed
+// coordinated global checkpoint. It must be called in engine context (e.g.
+// from an event scheduled at the repair time). All nodes are restarted, a
+// fresh scheme of the given variant is attached (its round numbering
+// continuing after the recovered round), each rank's program is rebuilt via
+// factory, restored from stable storage, given back the logged in-transit
+// messages of its channels, and relaunched. The coordinated protocol's
+// recovery is exactly the paper's "simple and quite predictable" rollback:
+// every process returns to its last committed checkpoint.
+//
+// If no round ever committed, programs restart from their initial state.
+func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.Program) (*mp.World, *RecoveryReport) {
+	if !v.Coordinated() {
+		panic("ckpt: Recover applies to coordinated schemes; independent recovery goes through package rdg")
+	}
+	for _, n := range m.Nodes {
+		n.Restart()
+	}
+	w := mp.NewWorld(m)
+	rep := &RecoveryReport{StartedAt: m.Eng.Now(), Done: sim.NewGate(m.Eng)}
+
+	m.Eng.Spawn("recovery", func(p *sim.Proc) {
+		// The daemons are not attached yet, so the orchestrator may use the
+		// coordinator node's storage path directly to find the last
+		// committed round.
+		node0 := m.Nodes[0]
+		round := 0
+		if reply := node0.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordMetaPath}); reply.Err == nil {
+			r, err := parseMetaRecord(reply.Data)
+			if err != nil {
+				panic(err)
+			}
+			round = r
+		}
+		rep.Round = round
+		opt.StartRound = round
+		sch := New(v, opt)
+		sch.Attach(m)
+		rep.Scheme = sch
+
+		remaining := m.NumNodes()
+		for rank := range m.Nodes {
+			rank := rank
+			sch.(jobEnqueuer).EnqueueJob(rank, func(p *sim.Proc) {
+				prog := factory(rank)
+				node := m.Nodes[rank]
+				if round > 0 {
+					st := node.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordStatePath(round, rank)})
+					if st.Err != nil {
+						panic(fmt.Sprintf("ckpt: recovery: missing state of rank %d round %d: %v", rank, round, st.Err))
+					}
+					prog.Restore(st.Data)
+					rep.StateBytes += int64(len(st.Data))
+					var msgs []*mp.Message
+					cl := node.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordChanPath(round, rank)})
+					if cl.Err == nil {
+						var err error
+						if msgs, err = decodeChanLog(cl.Data); err != nil {
+							panic(err)
+						}
+					}
+					// A missing channel log means the channel was empty.
+					for _, msg := range msgs {
+						node.AppBox.Put(&fabric.Envelope{
+							Src: fabric.NodeID(msg.Src), Dst: fabric.NodeID(rank),
+							Port: par.PortApp, Inc: m.Epoch, Payload: msg,
+						})
+					}
+					rep.ChanMsgs += len(msgs)
+				}
+				w.Launch(rank, prog)
+				remaining--
+				if remaining == 0 {
+					rep.CompletedAt = p.Now()
+					rep.Done.Open()
+				}
+			})
+		}
+	})
+	return w, rep
+}

@@ -1,0 +1,264 @@
+// Package ckpt implements the checkpointing protocols the paper compares:
+//
+//   - Coordinated checkpointing (the Silva & Silva global-checkpointing
+//     algorithm: a coordinator-initiated two-phase protocol with channel
+//     markers, a descendant of Chandy-Lamport distributed snapshots), in the
+//     paper's variants: _B (fully blocking baseline), _NB (non-blocking
+//     protocol, application blocked only during its own state save), _NBM
+//     (main-memory checkpointing: blocked only during a memory copy), and
+//     _NBMS (_NBM plus token-ring checkpoint staggering).
+//
+//   - Independent checkpointing: every node checkpoints on a local timer
+//     with no synchronization, in the variants Indep (blocked during the
+//     save) and Indep_M (main-memory copy, background save). Dependencies
+//     between checkpoint intervals are tracked by piggybacking interval
+//     indices on messages and persisted with each checkpoint, enabling
+//     recovery-line computation (package rdg).
+//
+// Protocol control messages travel on the same simulated network as
+// application messages, and all checkpoint data flows through the host link
+// to the shared stable-storage server, reproducing the contention structure
+// of the paper's testbed.
+package ckpt
+
+import (
+	"fmt"
+	"repro/internal/storage"
+
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// Variant selects one of the paper's checkpointing schemes.
+type Variant int
+
+// The measured schemes. CoordB is the fully blocking baseline the paper's
+// library also supported; the paper's tables use NB, NBM, NBMS, Indep and
+// IndepM.
+const (
+	CoordB Variant = iota
+	CoordNB
+	CoordNBM
+	CoordNBMS
+	Indep
+	IndepM
+	// IndepLog is Indep extended with sender-based message logging (the
+	// paper's §1 cites message logging as the standard fix for the domino
+	// effect): senders keep volatile logs of outgoing messages, receivers
+	// suppress duplicates by sequence number, and a single failed node can
+	// recover from its own last checkpoint alone — survivors re-transmit
+	// from their logs and nobody else rolls back.
+	IndepLog
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case CoordB:
+		return "Coord_B"
+	case CoordNB:
+		return "Coord_NB"
+	case CoordNBM:
+		return "Coord_NBM"
+	case CoordNBMS:
+		return "Coord_NBMS"
+	case Indep:
+		return "Indep"
+	case IndepM:
+		return "Indep_M"
+	case IndepLog:
+		return "Indep_Log"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Coordinated reports whether the variant is a coordinated scheme.
+func (v Variant) Coordinated() bool { return v <= CoordNBMS }
+
+// MemBuffered reports whether the variant uses main-memory checkpointing.
+func (v Variant) MemBuffered() bool {
+	return v == CoordNBM || v == CoordNBMS || v == IndepM
+}
+
+// Options configure a scheme instance.
+type Options struct {
+	// Interval between checkpoints. For coordinated schemes the coordinator
+	// initiates the next round Interval after the previous round committed;
+	// for independent schemes each node arms its next local timer Interval
+	// after its previous checkpoint completed (which is what makes
+	// initially synchronized independent timers drift apart).
+	Interval sim.Duration
+
+	// FirstAt is the time of the first checkpoint; zero means Interval.
+	FirstAt sim.Duration
+
+	// MaxCheckpoints caps the number of rounds (coordinated) or per-node
+	// checkpoints (independent); zero means unlimited.
+	MaxCheckpoints int
+
+	// StartRound offsets coordinated round numbering; recovery uses it so a
+	// restarted scheme's rounds continue after the recovered one.
+	StartRound int
+
+	// Spread staggers independent checkpointing deliberately: node k's first
+	// timer fires at FirstAt + k*Spread. Interleaved checkpoints are the
+	// classic domino-effect construction; a spread can also be used as a
+	// poor man's staggering optimization. Ignored by coordinated schemes
+	// (they stagger via the NBMS token ring).
+	Spread sim.Duration
+}
+
+func (o Options) firstAt() sim.Duration {
+	if o.FirstAt > 0 {
+		return o.FirstAt
+	}
+	return o.Interval
+}
+
+// Dep records that during the checkpoint interval being closed, this node
+// consumed a message sent by SrcRank during its interval SrcIndex.
+type Dep struct {
+	SrcRank  int
+	SrcIndex uint64
+}
+
+// Record describes one durably committed checkpoint.
+type Record struct {
+	Rank       int
+	Index      int // round number (coordinated) or per-node index (independent)
+	At         sim.Time
+	StateBytes int
+	ChanBytes  int
+	Deps       []Dep // independent only: receive edges of the closed interval
+}
+
+// Stats aggregates a scheme's activity over a run.
+type Stats struct {
+	Checkpoints  int   // per-process checkpoints durably completed
+	Rounds       int   // committed global rounds (coordinated only)
+	StateBytes   int64 // checkpoint state written to stable storage
+	ChanBytes    int64 // logged channel state written
+	ProtoMsgs    int64 // control messages (requests, markers, acks, commits, tokens)
+	ProtoBytes   int64
+	AppBlocked   sim.Duration   // total application block time due to checkpointing
+	MemCopyTime  sim.Duration   // portion of AppBlocked spent in memory copies
+	RoundLatency []sim.Duration // coordinated: initiation -> commit per round
+	LogBytesPeak int64          // IndepLog: peak volatile sender-log occupancy
+}
+
+// Scheme is a checkpointing protocol attached to a machine.
+type Scheme interface {
+	// Name returns the paper's scheme name.
+	Name() string
+	// Variant returns the scheme's variant.
+	Variant() Variant
+	// Attach installs hooks, daemons and timers on the machine. It must be
+	// called before application processes start exchanging messages.
+	Attach(m *par.Machine)
+	// Stop cancels future checkpoints (in-flight rounds finish).
+	Stop()
+	// Stats returns a snapshot of the scheme's counters.
+	Stats() Stats
+	// Records lists the durably completed checkpoints, oldest first.
+	Records() []Record
+}
+
+// New constructs a scheme for the variant.
+func New(v Variant, opt Options) Scheme {
+	if v.Coordinated() {
+		return newCoordinated(v, opt)
+	}
+	return newIndependent(v, opt)
+}
+
+// Wire sizes of protocol control messages (bytes, excluding the fabric's
+// per-message header).
+const (
+	sizeCtl = 16 // request, marker, ack, commit, token
+)
+
+// Control message payloads (delivered to PortDaemon and intercepted by the
+// node delivery hook).
+type (
+	msgCkptReq struct{ Round int }
+	msgMarker  struct {
+		Round int
+		From  int
+	}
+	msgAck struct {
+		Round int
+		From  int
+	}
+	msgCommit struct{ Round int }
+	msgToken  struct{ Round int }
+	// msgLogTrunc lets a checkpointed receiver truncate its senders' message
+	// logs: everything it consumed before the checkpoint can never be
+	// re-requested.
+	msgLogTrunc struct {
+		From int
+		UpTo uint64
+	}
+)
+
+// Coordinated checkpoints are double-buffered: rounds alternate between two
+// file slots, so after the first two rounds every write overwrites an
+// existing file (no directory-update cost), and at most two rounds of files
+// ever occupy stable storage — the paper's low storage overhead. The round
+// record names the committed round; the slot follows from its parity.
+func coordStatePath(round, rank int) string { return fmt.Sprintf("coord/slot%d/s%03d", round%2, rank) }
+func coordChanPath(round, rank int) string  { return fmt.Sprintf("coord/slot%d/c%03d", round%2, rank) }
+
+// coordMetaPath is the coordinator's durable round record; writing it is the
+// commit point of the two-phase protocol.
+const coordMetaPath = "coord/meta"
+
+func indepPath(rank, index int) string { return fmt.Sprintf("indep/n%03d/k%05d", rank, index) }
+
+// writeSegment is the RPC granularity of checkpoint writes: the checkpointer
+// streams a file to stable storage as a pipeline of append requests (all but
+// the last fire-and-forget), so the network transfer of later segments
+// overlaps the disk service of earlier ones — how a real checkpoint writer's
+// write() loop behaves over a file server.
+const writeSegment = 64 * 1024
+
+// padImage appends the machine's fixed process-image bytes to a serialized
+// application state: a checkpoint saves the process, not just its arrays.
+// Decoders read length-prefixed fields, so the trailing padding is inert on
+// recovery.
+func padImage(state []byte, imageBytes int) []byte {
+	if imageBytes <= 0 {
+		return state
+	}
+	return append(state, make([]byte, imageBytes)...)
+}
+
+// writeSegmented streams data durably to path from the node's daemon. When
+// reset is true any previous content at path (a reused slot file) is removed
+// first. The final request is synchronous: FIFO request ordering makes its
+// reply a barrier confirming every segment is durable.
+func writeSegmented(p *sim.Proc, n *par.Node, path string, data []byte, reset bool) {
+	if reset {
+		n.StorageSend(p, storage.Request{Op: storage.OpDelete, Path: path})
+	}
+	if len(data) == 0 {
+		n.StorageCall(p, storage.Request{Op: storage.OpWrite, Path: path, Durable: true})
+		return
+	}
+	for off := 0; off < len(data); off += writeSegment {
+		end := off + writeSegment
+		if end > len(data) {
+			end = len(data)
+		}
+		req := storage.Request{Op: storage.OpAppend, Path: path, Data: data[off:end], Durable: true}
+		if end == len(data) {
+			n.StorageCall(p, req)
+		} else {
+			n.StorageSend(p, req)
+		}
+	}
+}
+
+// IndepCheckpointPath exposes the stable-storage path of an independent
+// checkpoint so external services (the garbage collector in package rdg)
+// can reclaim files.
+func IndepCheckpointPath(rank, index int) string { return indepPath(rank, index) }

@@ -1,0 +1,116 @@
+// Package core is the top-level entry point of the library: it assembles a
+// simulated machine, attaches a checkpointing scheme, launches an
+// application workload across the nodes, runs the simulation to completion,
+// verifies the computed results against the workload's oracle, and returns
+// the measurements.
+//
+// Everything the paper's experiments need is reachable from Run; the
+// lower-level packages (sim, fabric, storage, par, mp, ckpt, apps) remain
+// usable directly for custom setups such as fault-injection studies.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/ckpt"
+	"repro/internal/mp"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// Config selects the machine and the checkpointing scheme for a run.
+type Config struct {
+	Machine par.Config
+
+	// Scheme selects the checkpointing variant; it is ignored unless
+	// Interval or FirstAt is set (no checkpointing otherwise).
+	Scheme         ckpt.Variant
+	Interval       sim.Duration
+	FirstAt        sim.Duration
+	MaxCheckpoints int
+
+	// SkipCheck disables result verification against the workload oracle.
+	SkipCheck bool
+}
+
+// Default returns a configuration of the paper's testbed machine with no
+// checkpointing.
+func Default() Config { return Config{Machine: par.DefaultConfig()} }
+
+// WithScheme returns a copy of c running the given scheme.
+func (c Config) WithScheme(v ckpt.Variant, interval sim.Duration, maxCkpts int) Config {
+	c.Scheme = v
+	c.Interval = interval
+	c.MaxCheckpoints = maxCkpts
+	return c
+}
+
+// Result is everything measured in one run.
+type Result struct {
+	Workload string
+	Scheme   string // "none" when checkpointing was off
+	Interval sim.Duration
+
+	Exec sim.Duration // execution time (launch to last application finish)
+
+	Ckpt ckpt.Stats // zero value when checkpointing was off
+
+	HostLinkBusy sim.Duration // mesh→host direction busy time
+	DiskBusy     sim.Duration // stable-storage service busy time
+	StoragePeak  int64        // peak bytes durably occupied
+	FilesAtEnd   int          // durable files when the run completed
+	NetMsgs      int64        // total messages injected into the fabric
+	NetBytes     int64
+
+	Records []ckpt.Record // committed checkpoints
+}
+
+// CheckpointingOn reports whether cfg runs a scheme.
+func (c Config) CheckpointingOn() bool { return c.Interval > 0 || c.FirstAt > 0 }
+
+// Run executes one workload under cfg. The returned error covers simulation
+// failures (deadlock, panics) and oracle mismatches.
+func Run(wl apps.Workload, cfg Config) (Result, error) {
+	m := par.NewMachine(cfg.Machine)
+	var sch ckpt.Scheme
+	if cfg.CheckpointingOn() {
+		sch = ckpt.New(cfg.Scheme, ckpt.Options{
+			Interval:       cfg.Interval,
+			FirstAt:        cfg.FirstAt,
+			MaxCheckpoints: cfg.MaxCheckpoints,
+		})
+		sch.Attach(m)
+	}
+	w := mp.NewWorld(m)
+	progs := make([]mp.Program, m.NumNodes())
+	for rank := range progs {
+		progs[rank] = wl.Make(rank, m.NumNodes())
+		w.Launch(rank, progs[rank])
+	}
+	if err := m.Run(); err != nil {
+		return Result{}, fmt.Errorf("core: %s: %w", wl.Name, err)
+	}
+	if !cfg.SkipCheck && wl.Check != nil {
+		if err := wl.Check(progs); err != nil {
+			return Result{}, fmt.Errorf("core: %s: result verification failed: %w", wl.Name, err)
+		}
+	}
+	res := Result{
+		Workload:    wl.Name,
+		Scheme:      "none",
+		Interval:    cfg.Interval,
+		Exec:        sim.Duration(m.AppsFinished),
+		StoragePeak: m.Store.PeakOccupied(),
+		FilesAtEnd:  m.Store.NumFiles(),
+	}
+	res.HostLinkBusy = m.Net.HostLinkStats().Busy
+	_, _, _, res.DiskBusy = m.Store.Stats()
+	res.NetMsgs, res.NetBytes = m.Net.TotalTraffic()
+	if sch != nil {
+		res.Scheme = sch.Name()
+		res.Ckpt = sch.Stats()
+		res.Records = sch.Records()
+	}
+	return res, nil
+}

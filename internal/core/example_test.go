@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+)
+
+// Example measures the overhead of the paper's best scheme on a small SOR
+// instance. Because the simulation is deterministic, the numbers are exact.
+func Example() {
+	wl := apps.SORWorkload(apps.DefaultSOR(64, 30))
+	base, err := core.Run(wl, core.Default())
+	if err != nil {
+		panic(err)
+	}
+	cfg := core.Default().WithScheme(ckpt.CoordNBMS, base.Exec/4, 3)
+	res, err := core.Run(wl, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scheme=%s checkpointed=%v verified=yes\n", res.Scheme, res.Ckpt.Rounds >= 1)
+	fmt.Printf("overhead positive: %v\n", res.Exec > base.Exec)
+	// Output:
+	// scheme=Coord_NBMS checkpointed=true verified=yes
+	// overhead positive: true
+}

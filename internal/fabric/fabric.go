@@ -1,0 +1,309 @@
+// Package fabric simulates the interconnect of a transputer-style
+// multicomputer: a 2-D mesh of compute nodes with XY (dimension-ordered)
+// store-and-forward routing, plus a host link attaching one mesh node to a
+// host endpoint (the stable-storage server's machine).
+//
+// Every directed link is a FIFO resource with a latency and a bandwidth, so
+// concurrent traffic queues hop by hop; this is what produces the network
+// contention effects that the checkpointing study measures. Delivery order
+// between a fixed (src, dst) pair is FIFO because all such messages follow
+// the same deterministic path, which the reliable-FIFO message layer above
+// relies on.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NodeID identifies an endpoint: 0..Nodes-1 are mesh nodes, Host() is the
+// host machine behind the host link.
+type NodeID int
+
+// Config describes the machine's interconnect.
+type Config struct {
+	MeshW, MeshH int // mesh dimensions; compute nodes = MeshW*MeshH
+
+	LinkBandwidth float64      // bytes/s per mesh link
+	LinkLatency   sim.Duration // per-hop wire latency
+
+	HostBandwidth float64      // bytes/s of the host link
+	HostLatency   sim.Duration // host link latency
+	HostAttach    NodeID       // mesh node the host link attaches to
+
+	SendOverhead sim.Duration // software overhead charged to the sending process
+	LocalLatency sim.Duration // latency of a node-local (src == dst) delivery
+
+	// PacketBytes is the link scheduling granularity: a message holds a link
+	// for at most this many bytes before yielding to competing traffic, so
+	// large checkpoint transfers do not monopolize links against small
+	// application messages. Zero disables packetization.
+	PacketBytes int
+
+	// TransitCPUPerMB is the CPU time the software router steals from an
+	// intermediate node per megabyte forwarded (Parix virtual links were
+	// partly CPU-driven). The node layer charges it to computations running
+	// concurrently with the forwarding.
+	TransitCPUPerMB sim.Duration
+}
+
+// Nodes returns the number of compute nodes.
+func (c Config) Nodes() int { return c.MeshW * c.MeshH }
+
+// Host returns the NodeID of the host endpoint.
+func (c Config) Host() NodeID { return NodeID(c.Nodes()) }
+
+// Envelope is one message on the wire. Payload is opaque to the fabric; Size
+// is the number of bytes that occupy link bandwidth.
+type Envelope struct {
+	Src, Dst NodeID
+	Port     int // endpoint-local demultiplexing port
+	Inc      int // sender incarnation number (used by the node layer)
+	Size     int // bytes on the wire (payload + headers)
+	Payload  any
+	SentAt   sim.Time
+	Seq      uint64 // global send sequence, for tracing
+}
+
+// Handler receives a delivered envelope. It runs under the simulation's
+// single-runner discipline (from a courier process) and must not block.
+type Handler func(*Envelope)
+
+type link struct {
+	res *sim.Resource
+	lat sim.Duration
+	bw  float64
+
+	bytes int64 // traffic accounting
+	msgs  int64
+}
+
+// Network is the simulated interconnect.
+type Network struct {
+	eng     *sim.Engine
+	cfg     Config
+	links   map[[2]NodeID]*link // directed (from,to) including host-link endpoints
+	deliver []Handler
+	seq     uint64
+
+	// Per-(src,dst) sequencing: packetized messages can overtake each other
+	// in flight, so arrivals are re-ordered before delivery to preserve the
+	// FIFO guarantee the message layer builds on.
+	sendSeq map[[2]NodeID]uint64
+	nextRcv map[[2]NodeID]uint64
+	held    map[[2]NodeID]map[uint64]*Envelope
+
+	// TransitHook, when set, is told about every message forwarded through
+	// an intermediate node (software routing CPU accounting).
+	TransitHook func(node NodeID, bytes int)
+
+	totalMsgs  int64
+	totalBytes int64
+}
+
+// New builds the mesh plus host link described by cfg.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.MeshW < 1 || cfg.MeshH < 1 {
+		panic("fabric: mesh dimensions must be >= 1")
+	}
+	if int(cfg.HostAttach) >= cfg.Nodes() {
+		panic("fabric: HostAttach outside mesh")
+	}
+	n := &Network{
+		eng:     eng,
+		cfg:     cfg,
+		links:   make(map[[2]NodeID]*link),
+		deliver: make([]Handler, cfg.Nodes()+1),
+		sendSeq: make(map[[2]NodeID]uint64),
+		nextRcv: make(map[[2]NodeID]uint64),
+		held:    make(map[[2]NodeID]map[uint64]*Envelope),
+	}
+	addLink := func(a, b NodeID, lat sim.Duration, bw float64) {
+		n.links[[2]NodeID{a, b}] = &link{res: sim.NewResource(eng, 1), lat: lat, bw: bw}
+		n.links[[2]NodeID{b, a}] = &link{res: sim.NewResource(eng, 1), lat: lat, bw: bw}
+	}
+	for y := 0; y < cfg.MeshH; y++ {
+		for x := 0; x < cfg.MeshW; x++ {
+			id := n.nodeAt(x, y)
+			if x+1 < cfg.MeshW {
+				addLink(id, n.nodeAt(x+1, y), cfg.LinkLatency, cfg.LinkBandwidth)
+			}
+			if y+1 < cfg.MeshH {
+				addLink(id, n.nodeAt(x, y+1), cfg.LinkLatency, cfg.LinkBandwidth)
+			}
+		}
+	}
+	addLink(cfg.HostAttach, cfg.Host(), cfg.HostLatency, cfg.HostBandwidth)
+	return n
+}
+
+// Config returns the interconnect configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+func (n *Network) nodeAt(x, y int) NodeID { return NodeID(y*n.cfg.MeshW + x) }
+
+func (n *Network) coords(id NodeID) (x, y int) {
+	return int(id) % n.cfg.MeshW, int(id) / n.cfg.MeshW
+}
+
+// Path returns the sequence of directed hops from src to dst using XY
+// routing on the mesh, traversing the host link first/last as needed.
+func (n *Network) Path(src, dst NodeID) [][2]NodeID {
+	if src == dst {
+		return nil
+	}
+	var hops [][2]NodeID
+	cur := src
+	if src == n.cfg.Host() {
+		hops = append(hops, [2]NodeID{src, n.cfg.HostAttach})
+		cur = n.cfg.HostAttach
+	}
+	meshDst := dst
+	if dst == n.cfg.Host() {
+		meshDst = n.cfg.HostAttach
+	}
+	cx, cy := n.coords(cur)
+	dx, dy := n.coords(meshDst)
+	for cx != dx {
+		step := 1
+		if dx < cx {
+			step = -1
+		}
+		next := n.nodeAt(cx+step, cy)
+		hops = append(hops, [2]NodeID{n.nodeAt(cx, cy), next})
+		cx += step
+	}
+	for cy != dy {
+		step := 1
+		if dy < cy {
+			step = -1
+		}
+		next := n.nodeAt(cx, cy+step)
+		hops = append(hops, [2]NodeID{n.nodeAt(cx, cy), next})
+		cy += step
+	}
+	if dst == n.cfg.Host() {
+		hops = append(hops, [2]NodeID{n.cfg.HostAttach, dst})
+	}
+	return hops
+}
+
+// SetDeliver installs the delivery handler for endpoint id.
+func (n *Network) SetDeliver(id NodeID, h Handler) { n.deliver[id] = h }
+
+// Send injects env into the network. If sender is non-nil the configured
+// software send overhead is charged to it (the sender blocks for that time);
+// transport then proceeds asynchronously via a courier process, so Send
+// models a non-blocking (buffered) send. Send panics on an invalid
+// destination.
+func (n *Network) Send(sender *sim.Proc, env *Envelope) {
+	if int(env.Dst) < 0 || int(env.Dst) > n.cfg.Nodes() {
+		panic(fmt.Sprintf("fabric: send to invalid node %d", env.Dst))
+	}
+	n.seq++
+	env.Seq = n.seq
+	env.SentAt = n.eng.Now()
+	n.totalMsgs++
+	n.totalBytes += int64(env.Size)
+	if sender != nil && n.cfg.SendOverhead > 0 {
+		sender.Sleep(n.cfg.SendOverhead)
+	}
+	if env.Src == env.Dst {
+		n.eng.After(n.cfg.LocalLatency, func() { n.handoff(env) })
+		return
+	}
+	pair := [2]NodeID{env.Src, env.Dst}
+	n.sendSeq[pair]++
+	pairSeq := n.sendSeq[pair]
+	path := n.Path(env.Src, env.Dst)
+	n.eng.Spawn(fmt.Sprintf("courier:%d->%d#%d", env.Src, env.Dst, env.Seq), func(p *sim.Proc) {
+		for _, hop := range path {
+			l := n.links[hop]
+			remaining := env.Size
+			for {
+				chunk := remaining
+				if n.cfg.PacketBytes > 0 && chunk > n.cfg.PacketBytes {
+					chunk = n.cfg.PacketBytes
+				}
+				l.res.Acquire(p)
+				p.Sleep(l.lat + sim.BytesAt(chunk, l.bw))
+				l.res.Release()
+				remaining -= chunk
+				if remaining <= 0 {
+					break
+				}
+			}
+			l.bytes += int64(env.Size)
+			l.msgs++
+			if hop[1] != env.Dst && n.TransitHook != nil {
+				n.TransitHook(hop[1], env.Size)
+			}
+		}
+		n.arrive(pair, pairSeq, env)
+	})
+}
+
+// arrive re-sequences packetized arrivals so each (src,dst) pair delivers in
+// send order, then hands envelopes to the destination.
+func (n *Network) arrive(pair [2]NodeID, pairSeq uint64, env *Envelope) {
+	expected := n.nextRcv[pair] + 1
+	if pairSeq != expected {
+		hm := n.held[pair]
+		if hm == nil {
+			hm = make(map[uint64]*Envelope)
+			n.held[pair] = hm
+		}
+		hm[pairSeq] = env
+		return
+	}
+	n.handoff(env)
+	n.nextRcv[pair] = expected
+	for {
+		next, ok := n.held[pair][n.nextRcv[pair]+1]
+		if !ok {
+			return
+		}
+		delete(n.held[pair], n.nextRcv[pair]+1)
+		n.nextRcv[pair]++
+		n.handoff(next)
+	}
+}
+
+func (n *Network) handoff(env *Envelope) {
+	if h := n.deliver[env.Dst]; h != nil {
+		h(env)
+	}
+}
+
+// LinkStats describes accumulated traffic on one directed link.
+type LinkStats struct {
+	From, To NodeID
+	Bytes    int64
+	Msgs     int64
+	Busy     sim.Duration
+}
+
+// HostLinkStats returns traffic stats of the mesh→host direction of the host
+// link, the principal bottleneck for checkpoint traffic.
+func (n *Network) HostLinkStats() LinkStats {
+	key := [2]NodeID{n.cfg.HostAttach, n.cfg.Host()}
+	l := n.links[key]
+	return LinkStats{From: key[0], To: key[1], Bytes: l.bytes, Msgs: l.msgs, Busy: l.res.BusyTime()}
+}
+
+// TotalTraffic returns the total number of messages and payload bytes
+// injected since the network was created.
+func (n *Network) TotalTraffic() (msgs, bytes int64) { return n.totalMsgs, n.totalBytes }
+
+// DebugHeld reports how many envelopes sit in reorder buffers per pair
+// (test/diagnostic helper).
+func DebugHeld(n *Network) map[[2]NodeID]int {
+	out := map[[2]NodeID]int{}
+	for pair, hm := range n.held {
+		if len(hm) > 0 {
+			out[pair] = len(hm)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package mp
+
+import "repro/internal/codec"
+
+// encodeF64s / decodeF64s are the wire format of float64 vectors used by the
+// collectives.
+func encodeF64s(vs []float64) []byte {
+	w := codec.NewWriter()
+	w.F64s(vs)
+	return w.Bytes()
+}
+
+func decodeF64s(b []byte) []float64 {
+	r := codec.NewReader(b)
+	vs := r.F64s()
+	if r.Err() != nil {
+		panic("mp: corrupt float vector: " + r.Err().Error())
+	}
+	return vs
+}
+
+// EncodeF64s exposes the vector encoding to applications that ship float
+// rows around.
+func EncodeF64s(vs []float64) []byte { return encodeF64s(vs) }
+
+// DecodeF64s decodes a vector encoded by EncodeF64s.
+func DecodeF64s(b []byte) []float64 { return decodeF64s(b) }
+
+// EncodeInts encodes an []int for application messages.
+func EncodeInts(vs []int) []byte {
+	w := codec.NewWriter()
+	w.Ints(vs)
+	return w.Bytes()
+}
+
+// DecodeInts decodes a vector encoded by EncodeInts.
+func DecodeInts(b []byte) []int {
+	r := codec.NewReader(b)
+	vs := r.Ints()
+	if r.Err() != nil {
+		panic("mp: corrupt int vector: " + r.Err().Error())
+	}
+	return vs
+}
+
+// Thin indirections keep the main file free of codec imports.
+func codecWriter() *codec.Writer         { return codec.NewWriter() }
+func codecReader(b []byte) *codec.Reader { return codec.NewReader(b) }
+
+func putU64s(w *codec.Writer, vs []uint64) {
+	w.Int(len(vs))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+func getU64s(r *codec.Reader) []uint64 {
+	n := r.Int()
+	if n < 0 || r.Err() != nil {
+		panic("mp: corrupt u64 vector")
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = r.U64()
+	}
+	return vs
+}

@@ -1,0 +1,423 @@
+// Package par assembles the simulated parallel machine: compute nodes on the
+// fabric, the stable-storage host, and per-node plumbing shared by the
+// message-passing layer (package mp) and the checkpointing protocols
+// (package ckpt).
+//
+// The architecture mirrors the paper's CHK-LIB on Parix: each node runs the
+// application process plus a checkpointer daemon process; protocol traffic
+// and application traffic share the interconnect; all nodes reach stable
+// storage through the host link.
+package par
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Ports demultiplex envelopes within a node.
+const (
+	PortApp    = 0 // application messages and safe-point actions
+	PortDaemon = 1 // checkpointer protocol and storage replies
+)
+
+// Config describes the whole machine.
+type Config struct {
+	Fabric  fabric.Config
+	Storage storage.Config
+
+	CPUOpsPerSec float64      // application compute speed (abstract ops/s)
+	MemCopyBW    float64      // main-memory checkpoint copy bandwidth (bytes/s)
+	ComputeSlice sim.Duration // max uninterruptible compute chunk
+
+	MsgHeader int // wire overhead added to every message payload, bytes
+
+	// MsgWindow is the per-(sender,receiver) flow-control window of the
+	// message layer: a sender blocks once this many application messages to
+	// one destination are outstanding (sent but not yet consumed). The
+	// transputer links of the modelled machine were rendezvous-based with
+	// little buffering, so the window is small.
+	MsgWindow int
+
+	// CkptImageBytes is the fixed process-image portion of every checkpoint
+	// (stack, library buffers, bookkeeping) written in addition to the
+	// application's data — CHK-LIB saved process state, not bare arrays.
+	CkptImageBytes int
+}
+
+// DefaultConfig returns parameters calibrated to the paper's testbed: a
+// Parsytec Xplorer with 8 T805 transputers (2x4 mesh), host link on node 0,
+// and a SunSparc file server. See DESIGN.md §5.
+func DefaultConfig() Config {
+	return Config{
+		Fabric: fabric.Config{
+			MeshW: 4, MeshH: 2,
+			LinkBandwidth: 1.5e6, LinkLatency: 50 * sim.Microsecond,
+			HostBandwidth: 1.0e6, HostLatency: 200 * sim.Microsecond,
+			HostAttach:      0,
+			SendOverhead:    25 * sim.Microsecond,
+			LocalLatency:    5 * sim.Microsecond,
+			PacketBytes:     4096,
+			TransitCPUPerMB: 300 * sim.Millisecond,
+		},
+		Storage: storage.Config{
+			ReqOverhead:    15 * sim.Millisecond,
+			AppendOverhead: 2 * sim.Millisecond,
+			MetaOverhead:   2 * sim.Millisecond,
+			CreateOverhead: 25 * sim.Millisecond,
+			WriteBandwidth: 1.2e6,
+			ReadBandwidth:  2.0e6,
+		},
+		CPUOpsPerSec:   1e7,
+		MemCopyBW:      15e6,
+		ComputeSlice:   50 * sim.Millisecond,
+		MsgHeader:      64,
+		MsgWindow:      4,
+		CkptImageBytes: 64 * 1024,
+	}
+}
+
+// Snapshotter is implemented by application programs so the checkpointing
+// layer can capture and restore their state.
+type Snapshotter interface {
+	Snapshot() []byte
+	Restore(data []byte)
+}
+
+// Action is a unit of checkpointing work executed in the application
+// process's context at its next safe point (any message-passing library
+// call). Blocking checkpoint variants park the application inside Run.
+type Action interface {
+	Run(p *sim.Proc, n *Node)
+}
+
+// Machine is the simulated multicomputer.
+type Machine struct {
+	Eng   *sim.Engine
+	Cfg   Config
+	Net   *fabric.Network
+	Store *storage.Server
+	Nodes []*Node
+
+	// Epoch is the incarnation number: bumped on every failure so that
+	// in-flight traffic from a previous incarnation is discarded on arrival.
+	Epoch int
+
+	appsLive  int
+	stopHooks []func()
+	exitHooks []func(nodeID int)
+
+	// AppsFinished is the virtual time the last application process
+	// completed (the measured execution time of a run).
+	AppsFinished sim.Time
+}
+
+// NewMachine builds the machine: engine, fabric, storage server and nodes.
+func NewMachine(cfg Config) *Machine {
+	eng := sim.New()
+	m := &Machine{
+		Eng:   eng,
+		Cfg:   cfg,
+		Net:   fabric.New(eng, cfg.Fabric),
+		Store: storage.New(eng, cfg.Storage),
+	}
+	n := cfg.Fabric.Nodes()
+	m.Nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node := &Node{M: m, ID: i, Alive: true}
+		node.reset()
+		m.Nodes[i] = node
+		m.Net.SetDeliver(fabric.NodeID(i), node.deliver)
+	}
+	m.Net.SetDeliver(cfg.Fabric.Host(), m.hostDeliver)
+	if cfg.Fabric.TransitCPUPerMB > 0 {
+		m.Net.TransitHook = func(id fabric.NodeID, bytes int) {
+			if int(id) < n {
+				debt := sim.Duration(float64(cfg.Fabric.TransitCPUPerMB) * float64(bytes) / 1e6)
+				m.Nodes[id].cpuDebt += debt
+			}
+		}
+	}
+	return m
+}
+
+// NumNodes returns the number of compute nodes.
+func (m *Machine) NumNodes() int { return len(m.Nodes) }
+
+// hostDeliver services envelopes addressed to the host: stable-storage
+// requests carried as payloads.
+func (m *Machine) hostDeliver(env *fabric.Envelope) {
+	if env.Inc != m.Epoch {
+		return // stale traffic from a previous incarnation
+	}
+	if req, ok := env.Payload.(storage.Request); ok {
+		m.Store.Submit(req)
+	}
+}
+
+// OnAllAppsDone registers fn to run when the last live application process
+// finishes (used by checkpointing schemes to cancel their timers).
+func (m *Machine) OnAllAppsDone(fn func()) { m.stopHooks = append(m.stopHooks, fn) }
+
+// OnAppExit registers fn to run whenever an application process finishes
+// normally (used by coordinated checkpointing to complete a round on behalf
+// of a process that exits mid-protocol).
+func (m *Machine) OnAppExit(fn func(nodeID int)) { m.exitHooks = append(m.exitHooks, fn) }
+
+func (m *Machine) appStarted() { m.appsLive++ }
+
+func (m *Machine) appDone() {
+	m.appsLive--
+	if m.appsLive == 0 {
+		m.AppsFinished = m.Eng.Now()
+		for _, fn := range m.stopHooks {
+			fn()
+		}
+		m.stopHooks = nil
+	}
+}
+
+// AppsLive returns the number of running application processes.
+func (m *Machine) AppsLive() int { return m.appsLive }
+
+// Run executes the simulation to completion.
+func (m *Machine) Run() error { return m.Eng.Run() }
+
+// CrashAll models a total system failure at the current instant: every
+// node's processes are killed, in-flight and queued messages are lost, and
+// stable storage discards uncommitted data. The engine keeps running so a
+// recovery procedure can restart the machine in the same simulation.
+func (m *Machine) CrashAll() {
+	m.Epoch++
+	for _, n := range m.Nodes {
+		n.crash()
+	}
+	m.Store.Crash()
+}
+
+// CrashNode models a single-node failure.
+func (m *Machine) CrashNode(id int) {
+	// The epoch is global; a single-node crash must not invalidate traffic
+	// between surviving nodes, so instead the node records its own
+	// incarnation and filters on it.
+	m.Nodes[id].crash()
+}
+
+// Node is one compute node: mailboxes, the processes that live on it, and
+// the hook points used by checkpointing protocols.
+type Node struct {
+	M     *Machine
+	ID    int
+	Alive bool
+	Inc   int // node incarnation, bumped on crash
+
+	AppBox    *sim.Mailbox[*fabric.Envelope]
+	DaemonBox *sim.Mailbox[*fabric.Envelope]
+
+	AppProc    *sim.Proc
+	DaemonProc *sim.Proc
+
+	// acceptAfter drops envelopes sent before the node's last restart:
+	// traffic addressed to a crashed node is lost even if it is still in
+	// flight when the node comes back.
+	acceptAfter sim.Time
+
+	// Snap is the application program's state capture interface, registered
+	// when the program starts.
+	Snap Snapshotter
+
+	// Lib is the message layer's state capture interface (sequence
+	// counters), checkpointed alongside the application state.
+	Lib Snapshotter
+
+	// LogSend, when set, receives a copy of every outgoing application
+	// message after it is sent (sender-based message logging).
+	LogSend func(dst int, msg any)
+
+	// DeliverHook observes every envelope arriving at this node before it is
+	// enqueued; returning true consumes the envelope (used for markers and
+	// message quarantining by coordinated checkpointing). Runs in engine
+	// context and must not block.
+	DeliverHook func(env *fabric.Envelope) bool
+
+	// OutMeta, when set, supplies the checkpoint-interval index piggybacked
+	// on outgoing application messages (independent checkpointing).
+	OutMeta func() uint64
+
+	// OnConsume, when set, is called when the application consumes a
+	// message (dependency tracking for independent checkpointing; the ssn is
+	// zero unless message logging is active).
+	OnConsume func(srcNode int, meta, ssn uint64)
+
+	reqSeq  int
+	cpuDebt sim.Duration
+}
+
+// ResetCPUDebt discards routing-CPU debt accrued while the application was
+// not computing (a blocked process donates its CPU to the router for free).
+func (n *Node) ResetCPUDebt() { n.cpuDebt = 0 }
+
+// TakeCPUDebt returns and clears the CPU time the software router stole
+// from this node since the last call; computations running concurrently are
+// extended by it.
+func (n *Node) TakeCPUDebt() sim.Duration {
+	d := n.cpuDebt
+	n.cpuDebt = 0
+	return d
+}
+
+func (n *Node) reset() {
+	n.AppBox = sim.NewMailbox[*fabric.Envelope](n.M.Eng)
+	n.DaemonBox = sim.NewMailbox[*fabric.Envelope](n.M.Eng)
+	n.DeliverHook = nil
+	n.OutMeta = nil
+	n.OnConsume = nil
+	n.LogSend = nil
+	n.Snap = nil
+	n.Lib = nil
+}
+
+func (n *Node) crash() {
+	n.Alive = false
+	n.Inc++
+	if n.AppProc != nil && !n.AppProc.Done() {
+		n.AppProc.Kill()
+		n.M.appDone()
+	}
+	if n.DaemonProc != nil && !n.DaemonProc.Done() {
+		n.DaemonProc.Kill()
+	}
+	n.AppProc, n.DaemonProc = nil, nil
+	n.reset()
+}
+
+// Restart marks the node alive again with fresh mailboxes; the caller then
+// starts new application and daemon processes on it.
+func (n *Node) Restart() {
+	n.Alive = true
+	n.acceptAfter = n.M.Eng.Now()
+	n.reset()
+}
+
+func (n *Node) deliver(env *fabric.Envelope) {
+	if !n.Alive || env.Inc != n.M.Epoch || env.SentAt < n.acceptAfter {
+		return // dead node or stale traffic from before its restart
+	}
+	if n.DeliverHook != nil && n.DeliverHook(env) {
+		return
+	}
+	switch env.Port {
+	case PortApp:
+		n.AppBox.Put(env)
+	case PortDaemon:
+		n.DaemonBox.Put(env)
+	}
+}
+
+// Send transmits payload to (dst node, port). If sender is non-nil the
+// configured software send overhead is charged to it. size is the payload
+// size in bytes; the configured message header is added on the wire.
+func (n *Node) Send(sender *sim.Proc, dst fabric.NodeID, port int, payload any, size int) {
+	if !n.Alive {
+		return
+	}
+	n.M.Net.Send(sender, &fabric.Envelope{
+		Src: fabric.NodeID(n.ID), Dst: dst, Port: port,
+		Inc: n.M.Epoch, Size: size + n.M.Cfg.MsgHeader, Payload: payload,
+	})
+}
+
+// PostAction delivers a checkpointing action to the local application
+// process; it runs at the application's next safe point.
+func (n *Node) PostAction(a Action) {
+	n.Send(nil, fabric.NodeID(n.ID), PortApp, a, 0)
+}
+
+// StartApp spawns the node's application process. body runs in the new
+// process; machine-level completion accounting is handled here.
+func (m *Machine) StartApp(nodeID int, name string, body func(p *sim.Proc)) *sim.Proc {
+	node := m.Nodes[nodeID]
+	m.appStarted()
+	node.AppProc = m.Eng.Spawn(name, func(p *sim.Proc) {
+		defer func() {
+			// A killed process unwinds without reaching here only in the
+			// Kill path, which does its own accounting in crash().
+			if !p.Killed() {
+				for _, fn := range m.exitHooks {
+					fn(nodeID)
+				}
+				m.appDone()
+			}
+		}()
+		body(p)
+	})
+	return node.AppProc
+}
+
+// StartDaemon spawns a checkpointer daemon process on the node.
+func (m *Machine) StartDaemon(nodeID int, name string, body func(p *sim.Proc)) *sim.Proc {
+	node := m.Nodes[nodeID]
+	node.DaemonProc = m.Eng.Spawn(name, body)
+	node.DaemonProc.SetDaemon(true)
+	return node.DaemonProc
+}
+
+// storageReply pairs a request id with the server's reply.
+type storageReply struct {
+	id    int
+	reply storage.Reply
+}
+
+// StorageCall performs a stable-storage operation over the fabric: the
+// request (with its data) travels to the host, queues at the server, and
+// the reply returns to this node's daemon port. The calling process parks
+// until the reply arrives. It must only be called from a process that owns
+// the daemon mailbox (the checkpointer daemon), and may consume unrelated
+// envelopes' queue positions only logically: selective receive leaves other
+// envelopes queued.
+func (n *Node) StorageCall(p *sim.Proc, req storage.Request) storage.Reply {
+	n.reqSeq++
+	id := n.reqSeq
+	me := fabric.NodeID(n.ID)
+	host := n.M.Cfg.Fabric.Host()
+	epoch := n.M.Epoch
+	req.Done = func(r storage.Reply) {
+		// Runs in storage-server context on the host: send the reply back
+		// over the fabric.
+		replySize := len(r.Data)
+		n.M.Net.Send(nil, &fabric.Envelope{
+			Src: host, Dst: me, Port: PortDaemon, Inc: epoch,
+			Size:    replySize + n.M.Cfg.MsgHeader,
+			Payload: storageReply{id: id, reply: r},
+		})
+	}
+	n.Send(p, host, PortDaemon, req, len(req.Data))
+	env := n.DaemonBox.Get(p, func(e *fabric.Envelope) bool {
+		sr, ok := e.Payload.(storageReply)
+		return ok && sr.id == id
+	})
+	return env.Payload.(storageReply).reply
+}
+
+// StorageSend transmits a stable-storage request without waiting for a
+// reply (fire-and-forget). Requests from one node are delivered and
+// serviced in FIFO order, so a subsequent StorageCall acts as a barrier for
+// all preceding StorageSends.
+func (n *Node) StorageSend(sender *sim.Proc, req storage.Request) {
+	n.Send(sender, n.M.Cfg.Fabric.Host(), PortDaemon, req, len(req.Data))
+}
+
+// MemCopyTime returns the time to copy n bytes within node memory
+// (main-memory checkpointing).
+func (m *Machine) MemCopyTime(n int) sim.Duration {
+	return sim.BytesAt(n, m.Cfg.MemCopyBW)
+}
+
+// ComputeTime converts abstract operation counts to CPU time.
+func (m *Machine) ComputeTime(ops float64) sim.Duration {
+	return sim.Duration(ops / m.Cfg.CPUOpsPerSec * float64(sim.Second))
+}
+
+func (n *Node) String() string { return fmt.Sprintf("node%d", n.ID) }

@@ -1,0 +1,31 @@
+package rdg_test
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/rdg"
+)
+
+// Example reconstructs the textbook domino scenario: two processes whose
+// checkpoints interleave with ping-pong traffic, collapsing the recovery
+// line to the initial states.
+func Example() {
+	dep := func(src, interval int) ckpt.Dep {
+		return ckpt.Dep{SrcRank: src, SrcIndex: uint64(interval)}
+	}
+	var recs []ckpt.Record
+	for i := 1; i <= 3; i++ {
+		recs = append(recs,
+			ckpt.Record{Rank: 0, Index: i, Deps: []ckpt.Dep{dep(1, i-1), dep(1, i)}},
+			ckpt.Record{Rank: 1, Index: i, Deps: []ckpt.Dep{dep(0, i-1), dep(0, i)}},
+		)
+	}
+	g := rdg.FromRecords(2, recs)
+	line := g.RecoveryLine()
+	fmt.Println("recovery line:", line)
+	fmt.Println("domino:", g.Domino(line))
+	// Output:
+	// recovery line: [0 0]
+	// domino: true
+}

@@ -1,0 +1,85 @@
+package rdg
+
+import (
+	"repro/internal/ckpt"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// jobEnqueuer matches the checkpointing schemes' daemon-job interface.
+type jobEnqueuer interface {
+	EnqueueJob(rank int, job func(p *sim.Proc))
+}
+
+// GarbageCollector periodically reclaims obsolete independent checkpoints:
+// it computes the current recovery line from the dependency metadata and
+// deletes every checkpoint that can never appear on any future line
+// (Wang et al.'s checkpoint space reclamation, which the paper cites in §4
+// when noting that even with garbage collection "several checkpoints have
+// to be kept in stable storage").
+//
+// The collector runs as a centralized service, as in the literature: it
+// reads the scheme's committed-checkpoint records, runs the
+// rollback-dependency analysis, and enqueues the deletions on each owner
+// node's checkpointer daemon.
+type GarbageCollector struct {
+	m   *par.Machine
+	sch ckpt.Scheme
+	ivl sim.Duration
+
+	deleted  map[CheckpointID]bool
+	Reclaims int   // checkpoints deleted so far
+	Freed    int64 // bytes reclaimed
+	stopped  bool
+}
+
+// AttachGC starts a garbage collector for an independent scheme, scanning
+// every interval. It panics for coordinated schemes, which reclaim space by
+// construction (slot double-buffering).
+func AttachGC(m *par.Machine, sch ckpt.Scheme, interval sim.Duration) *GarbageCollector {
+	if sch.Variant().Coordinated() {
+		panic("rdg: AttachGC applies to independent schemes")
+	}
+	if _, ok := sch.(jobEnqueuer); !ok {
+		panic("rdg: scheme does not expose daemon jobs")
+	}
+	gc := &GarbageCollector{m: m, sch: sch, ivl: interval, deleted: map[CheckpointID]bool{}}
+	m.OnAllAppsDone(func() { gc.stopped = true })
+	m.Eng.After(interval, gc.scan)
+	return gc
+}
+
+func (gc *GarbageCollector) scan() {
+	if gc.stopped {
+		return
+	}
+	recs := gc.sch.Records()
+	g := FromRecords(gc.m.NumNodes(), recs)
+	line := g.RecoveryLine()
+	for _, id := range g.Garbage(line) {
+		if gc.deleted[id] {
+			continue
+		}
+		gc.deleted[id] = true
+		id := id
+		size := recordSize(recs, id)
+		gc.sch.(jobEnqueuer).EnqueueJob(id.Rank, func(p *sim.Proc) {
+			gc.m.Nodes[id.Rank].StorageCall(p, storage.Request{
+				Op: storage.OpDelete, Path: ckpt.IndepCheckpointPath(id.Rank, id.Index),
+			})
+			gc.Reclaims++
+			gc.Freed += size
+		})
+	}
+	gc.m.Eng.After(gc.ivl, gc.scan)
+}
+
+func recordSize(recs []ckpt.Record, id CheckpointID) int64 {
+	for _, r := range recs {
+		if r.Rank == id.Rank && r.Index == id.Index {
+			return int64(r.StateBytes)
+		}
+	}
+	return 0
+}

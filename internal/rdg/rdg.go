@@ -1,0 +1,174 @@
+// Package rdg analyzes the recovery properties of independent (uncoordinated)
+// checkpointing: it builds the rollback-dependency graph from the dependency
+// metadata persisted with each checkpoint, computes the recovery line (the
+// most recent consistent set of checkpoints), quantifies rollback distance
+// and the domino effect, and identifies garbage checkpoints that can be
+// reclaimed from stable storage.
+//
+// The model follows the classic literature (Randell's domino effect; Wang et
+// al.'s checkpoint space reclamation): process p's interval i is the
+// execution between its checkpoints i and i+1 (checkpoint 0 is the initial
+// state). A persisted edge says "p consumed, during the interval closed by
+// its checkpoint i, a message sent by q during q's interval j". A recovery
+// line L is consistent iff it creates no orphan message: if p restores
+// checkpoint i (which includes the receive), q must restore a state that
+// includes the send, i.e. L[q] > j.
+package rdg
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/sim"
+)
+
+// CheckpointID names one checkpoint.
+type CheckpointID struct {
+	Rank  int
+	Index int
+}
+
+// Edge is one persisted receive dependency: Receiver consumed, during the
+// interval closed by its checkpoint RecvCkpt, a message sent by Sender
+// during the sender's interval SentInterval.
+type Edge struct {
+	Receiver     int
+	RecvCkpt     int
+	Sender       int
+	SentInterval int
+}
+
+// Graph is the rollback-dependency structure of one run.
+type Graph struct {
+	n      int
+	latest []int // newest durable checkpoint index per rank
+	at     map[CheckpointID]sim.Time
+	edges  []Edge
+}
+
+// FromRecords builds the graph over all committed checkpoints of an
+// independent-checkpointing run on n ranks.
+func FromRecords(n int, recs []ckpt.Record) *Graph {
+	return FromRecordsAt(n, recs, sim.Time(1<<62))
+}
+
+// FromRecordsAt builds the graph visible at a failure at time t: only
+// checkpoints durable strictly before t exist in stable storage.
+func FromRecordsAt(n int, recs []ckpt.Record, t sim.Time) *Graph {
+	g := &Graph{n: n, latest: make([]int, n), at: make(map[CheckpointID]sim.Time)}
+	for _, r := range recs {
+		if r.At >= t {
+			continue
+		}
+		if r.Index > g.latest[r.Rank] {
+			g.latest[r.Rank] = r.Index
+		}
+		g.at[CheckpointID{r.Rank, r.Index}] = r.At
+		for _, d := range r.Deps {
+			g.edges = append(g.edges, Edge{
+				Receiver: r.Rank, RecvCkpt: r.Index,
+				Sender: d.SrcRank, SentInterval: int(d.SrcIndex),
+			})
+		}
+	}
+	return g
+}
+
+// Ranks returns the number of processes.
+func (g *Graph) Ranks() int { return g.n }
+
+// Latest returns the newest durable checkpoint index of each rank.
+func (g *Graph) Latest() []int { return append([]int(nil), g.latest...) }
+
+// Edges returns the persisted receive dependencies.
+func (g *Graph) Edges() []Edge { return append([]Edge(nil), g.edges...) }
+
+// CheckpointTime returns when a checkpoint became durable (zero time for the
+// initial state, checkpoint 0).
+func (g *Graph) CheckpointTime(id CheckpointID) sim.Time {
+	if id.Index == 0 {
+		return 0
+	}
+	return g.at[id]
+}
+
+// RecoveryLine computes the most recent consistent recovery line by rollback
+// propagation: start from every process's newest checkpoint and roll a
+// process back past any receive whose matching send is not included on the
+// other side, until no orphan messages remain. The result is the maximal
+// consistent line (the lattice of consistent cuts guarantees uniqueness).
+func (g *Graph) RecoveryLine() []int {
+	line := g.Latest()
+	for changed := true; changed; {
+		changed = false
+		for _, e := range g.edges {
+			// The receive is part of p's restored state iff line[p] >= RecvCkpt.
+			// The send is part of q's restored state iff line[q] > SentInterval.
+			if line[e.Receiver] >= e.RecvCkpt && line[e.Sender] <= e.SentInterval {
+				line[e.Receiver] = e.RecvCkpt - 1
+				changed = true
+			}
+		}
+	}
+	return line
+}
+
+// Domino reports whether the line exhibits the domino effect: a process
+// forced all the way back to its initial state despite having taken
+// checkpoints.
+func (g *Graph) Domino(line []int) bool {
+	for p, l := range line {
+		if l == 0 && g.latest[p] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RollbackCheckpoints returns, per rank, how many checkpoint generations the
+// line discards (latest - line).
+func (g *Graph) RollbackCheckpoints(line []int) []int {
+	out := make([]int, g.n)
+	for p := range out {
+		out[p] = g.latest[p] - line[p]
+	}
+	return out
+}
+
+// RollbackTime returns, per rank, the lost virtual time if a failure occurs
+// at t and the system restores the line: t minus the restored checkpoint's
+// durable time.
+func (g *Graph) RollbackTime(line []int, t sim.Time) []sim.Duration {
+	out := make([]sim.Duration, g.n)
+	for p := range out {
+		out[p] = t.Sub(g.CheckpointTime(CheckpointID{p, line[p]}))
+	}
+	return out
+}
+
+// Garbage returns the checkpoints that can never appear on any future
+// recovery line and may be reclaimed: everything strictly older than the
+// current line. (The line is monotonic — new checkpoints only add
+// constraints on new intervals — so this conservative rule is safe; Wang et
+// al.'s exact algorithm can reclaim more but never keeps fewer than N(N+1)/2.)
+func (g *Graph) Garbage(line []int) []CheckpointID {
+	var out []CheckpointID
+	for p := 0; p < g.n; p++ {
+		for i := 1; i < line[p]; i++ {
+			if _, ok := g.at[CheckpointID{p, i}]; ok {
+				out = append(out, CheckpointID{p, i})
+			}
+		}
+	}
+	return out
+}
+
+// Retained returns how many durable checkpoints remain after reclaiming
+// Garbage(line).
+func (g *Graph) Retained(line []int) int {
+	return len(g.at) - len(g.Garbage(line))
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("recv@%d.%d <- send@%d.%d", e.Receiver, e.RecvCkpt, e.Sender, e.SentInterval)
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq), which keeps the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a discrete-event simulation engine. It is not safe for use from
+// multiple goroutines except through the process-handoff protocol managed by
+// Proc; see the package comment.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	parked  chan struct{}
+	procs   map[int]*Proc
+	nextID  int
+	running *Proc
+	stopReq bool
+	failure error
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		procs:  make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run in engine context at virtual time at. Scheduling in
+// the past is an error and panics: the simulation cannot rewind.
+func (e *Engine) At(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	e.seq++
+	e.events.pushEvent(event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run in engine context d from now.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Remaining events are discarded.
+func (e *Engine) Stop() { e.stopReq = true }
+
+// fail records the first fatal error (e.g. a panicking process) and stops
+// the run.
+func (e *Engine) fail(err error) {
+	if e.failure == nil {
+		e.failure = err
+	}
+	e.stopReq = true
+}
+
+// DeadlockError is returned by Run when events are exhausted while processes
+// are still blocked.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // names of blocked processes, sorted
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d blocked process(es): %v", d.At, len(d.Blocked), d.Blocked)
+}
+
+// Run executes events until none remain, Stop is called, or a process
+// panics. It returns a *DeadlockError if processes remain blocked when the
+// event queue drains, the process's panic as an error if one panicked, and
+// nil on a clean completion (all processes finished).
+func (e *Engine) Run() error {
+	for len(e.events) > 0 && !e.stopReq {
+		ev := e.events.popEvent()
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if e.stopReq {
+		return nil
+	}
+	var names []string
+	for _, p := range e.procs {
+		if !p.daemon {
+			names = append(names, p.name)
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		return &DeadlockError{At: e.now, Blocked: names}
+	}
+	return nil
+}
+
+// LiveProcs returns the number of processes that have been spawned and have
+// not yet finished.
+func (e *Engine) LiveProcs() int { return len(e.procs) }

@@ -1,0 +1,26 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Example shows the kernel's process-oriented style: two processes
+// rendezvous through a mailbox, entirely in virtual time.
+func Example() {
+	eng := sim.New()
+	box := sim.NewMailbox[string](eng)
+	eng.Spawn("producer", func(p *sim.Proc) {
+		p.Sleep(2 * sim.Second)
+		box.Put("hello at 2s")
+	})
+	eng.Spawn("consumer", func(p *sim.Proc) {
+		msg := box.GetAny(p)
+		fmt.Printf("%s, received at %v\n", msg, p.Now())
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	// Output: hello at 2s, received at 2.000s
+}

@@ -1,0 +1,210 @@
+// Package storage simulates the stable-storage server: the host machine's
+// file system that all nodes of the multicomputer share (on the paper's
+// testbed, a SunSparc reached through the host link).
+//
+// The server is a single simulated process draining a FIFO request queue, so
+// concurrent checkpoint writes from many nodes queue up — the stable-storage
+// contention at the heart of the paper's results. Files written with
+// Durable=false land in a temporary area and are lost on Crash unless
+// committed; Commit is atomic, which the coordinated checkpointing protocol
+// uses for its two-phase commit of global checkpoints.
+package storage
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Op selects a request operation.
+type Op int
+
+// Request operations.
+const (
+	OpWrite  Op = iota // store Data at Path (tmp area unless Durable)
+	OpAppend           // append Data to Path (same durability rule)
+	OpCommit           // atomically move Path from tmp to durable
+	OpRead             // read durable Path
+	OpDelete           // delete Path from both areas
+	OpList             // list durable paths with prefix Path
+	OpStat             // size of durable Path
+)
+
+// ErrNotFound is returned for reads, commits and stats of missing paths.
+var ErrNotFound = errors.New("storage: file not found")
+
+// Request is one stable-storage operation. Done, if non-nil, is invoked in
+// server-process context when the operation completes.
+type Request struct {
+	Op      Op
+	Path    string
+	Data    []byte
+	Durable bool // for OpWrite/OpAppend: bypass the tmp area
+	Done    func(Reply)
+}
+
+// Reply carries the result of a request.
+type Reply struct {
+	Err   error
+	Data  []byte
+	Paths []string
+	Size  int
+}
+
+// Config sets the cost model of the storage server.
+type Config struct {
+	ReqOverhead    sim.Duration // per data-request fixed cost (seek, protocol)
+	AppendOverhead sim.Duration // per-request cost of sequential appends (no seek)
+	MetaOverhead   sim.Duration // fixed cost of metadata ops (commit, delete, list, stat)
+	CreateOverhead sim.Duration // extra cost of a write that creates a new file (directory update)
+	WriteBandwidth float64      // bytes/s
+	ReadBandwidth  float64      // bytes/s
+}
+
+// Server is the stable-storage host process.
+type Server struct {
+	eng   *sim.Engine
+	cfg   Config
+	reqs  *sim.Mailbox[Request]
+	tmp   map[string][]byte
+	files map[string][]byte
+
+	// statistics
+	bytesWritten int64
+	bytesRead    int64
+	reqCount     int64
+	busy         sim.Duration
+	peakOccupied int64
+}
+
+// New creates the server and spawns its service process on eng.
+func New(eng *sim.Engine, cfg Config) *Server {
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg,
+		reqs:  sim.NewMailbox[Request](eng),
+		tmp:   make(map[string][]byte),
+		files: make(map[string][]byte),
+	}
+	eng.Spawn("storage-server", s.serve).SetDaemon(true)
+	return s
+}
+
+// Submit enqueues a request; it never blocks the caller.
+func (s *Server) Submit(req Request) { s.reqs.Put(req) }
+
+func (s *Server) serve(p *sim.Proc) {
+	for {
+		req := s.reqs.GetAny(p)
+		s.reqCount++
+		start := p.Now()
+		reply := s.apply(p, req)
+		s.busy += p.Now().Sub(start)
+		if req.Done != nil {
+			req.Done(reply)
+		}
+	}
+}
+
+func (s *Server) apply(p *sim.Proc, req Request) Reply {
+	switch req.Op {
+	case OpWrite, OpRead:
+		p.Sleep(s.cfg.ReqOverhead)
+	case OpAppend:
+		p.Sleep(s.cfg.AppendOverhead)
+	default:
+		p.Sleep(s.cfg.MetaOverhead)
+	}
+	switch req.Op {
+	case OpWrite, OpAppend:
+		area := s.tmp
+		if req.Durable {
+			area = s.files
+		}
+		if _, exists := area[req.Path]; !exists {
+			p.Sleep(s.cfg.CreateOverhead) // directory update for a new file
+		}
+		p.Sleep(sim.BytesAt(len(req.Data), s.cfg.WriteBandwidth))
+		s.bytesWritten += int64(len(req.Data))
+		if req.Op == OpAppend {
+			area[req.Path] = append(area[req.Path], req.Data...)
+		} else {
+			area[req.Path] = append([]byte(nil), req.Data...)
+		}
+		s.notePeak()
+		return Reply{Size: len(area[req.Path])}
+	case OpCommit:
+		data, ok := s.tmp[req.Path]
+		if !ok {
+			return Reply{Err: ErrNotFound}
+		}
+		delete(s.tmp, req.Path)
+		s.files[req.Path] = data
+		s.notePeak()
+		return Reply{Size: len(data)}
+	case OpRead:
+		data, ok := s.files[req.Path]
+		if !ok {
+			return Reply{Err: ErrNotFound}
+		}
+		p.Sleep(sim.BytesAt(len(data), s.cfg.ReadBandwidth))
+		s.bytesRead += int64(len(data))
+		return Reply{Data: append([]byte(nil), data...), Size: len(data)}
+	case OpDelete:
+		delete(s.tmp, req.Path)
+		delete(s.files, req.Path)
+		return Reply{}
+	case OpList:
+		var paths []string
+		for path := range s.files {
+			if strings.HasPrefix(path, req.Path) {
+				paths = append(paths, path)
+			}
+		}
+		sort.Strings(paths)
+		return Reply{Paths: paths}
+	case OpStat:
+		data, ok := s.files[req.Path]
+		if !ok {
+			return Reply{Err: ErrNotFound}
+		}
+		return Reply{Size: len(data)}
+	}
+	return Reply{Err: errors.New("storage: unknown op")}
+}
+
+func (s *Server) notePeak() {
+	if occ := s.Occupied(); occ > s.peakOccupied {
+		s.peakOccupied = occ
+	}
+}
+
+// Crash models a failure of the computing system: everything not committed
+// to the durable area is discarded. (The durable area itself is stable
+// storage and survives by definition.)
+func (s *Server) Crash() { s.tmp = make(map[string][]byte) }
+
+// Occupied returns the bytes currently held in the durable area.
+func (s *Server) Occupied() int64 {
+	var n int64
+	for _, d := range s.files {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// PeakOccupied returns the maximum durable occupancy observed.
+func (s *Server) PeakOccupied() int64 { return s.peakOccupied }
+
+// Stats returns cumulative request count, bytes written/read and busy time.
+func (s *Server) Stats() (reqs, written, read int64, busy sim.Duration) {
+	return s.reqCount, s.bytesWritten, s.bytesRead, s.busy
+}
+
+// QueueLen returns the number of requests waiting for service.
+func (s *Server) QueueLen() int { return s.reqs.Len() }
+
+// NumFiles returns the number of durable files.
+func (s *Server) NumFiles() int { return len(s.files) }
