@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine's one-runner-at-a-time handoff is the part of the codebase that
+# actually exercises goroutine synchronization; run it and its heaviest users
+# under the race detector.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/obs/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...

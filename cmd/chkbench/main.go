@@ -13,6 +13,13 @@
 //	chkbench -exp stagger    # E8: staggering ablation
 //	chkbench -exp interval   # E9: overhead vs checkpoint interval
 //	chkbench -exp scaling    # E10: overhead vs machine size
+//
+// Observability:
+//
+//	chkbench -table all -json out.json       # tables as machine-readable JSON
+//	chkbench -trace out.json                 # Chrome trace of one run (-app/-scheme/-ckpts)
+//	chkbench -metrics                        # overhead breakdown per scheme for -app
+//	chkbench -metrics -scheme NBMS           # breakdown + full metric summary of one scheme
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/ckpt"
 	"repro/internal/par"
 )
 
@@ -29,9 +37,18 @@ func main() {
 	exp := flag.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	verbose := flag.Bool("v", false, "log every run")
+	jsonOut := flag.String("json", "", "write the measured table rows as machine-readable JSON to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of one checkpointed run (-app/-scheme/-ckpts) to this file")
+	metrics := flag.Bool("metrics", false, "print the overhead breakdown (and, for a single -scheme, the metric summary) of -app")
+	app := flag.String("app", "SOR-256", "workload for -trace/-metrics, e.g. SOR-256, ISING-512, GAUSS-384")
+	scheme := flag.String("scheme", "", "scheme for -trace/-metrics: B, NB, NBM, NBMS, Indep, Indep_M (default NBMS for -trace, all Table 2 schemes for -metrics)")
+	ckpts := flag.Int("ckpts", 3, "checkpoints per run for -trace/-metrics")
 	flag.Parse()
 
-	if *table == "" && *exp == "" {
+	if *jsonOut != "" && *table == "" {
+		*table = "all" // -json reports table rows, so it implies the table runs
+	}
+	if *table == "" && *exp == "" && *traceOut == "" && !*metrics {
 		*table = "all"
 	}
 	var prog bench.Progress
@@ -46,6 +63,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	var jsonRows []bench.JSONRow
 	if *table == "1" || *table == "all" {
 		wls := bench.Table1Workloads()
 		if *quick {
@@ -57,6 +75,7 @@ func main() {
 		}
 		bench.WriteTable1(out, rows)
 		fmt.Fprintln(out)
+		jsonRows = append(jsonRows, bench.Report(cfg, rows, bench.Table1Schemes).Rows...)
 	}
 	if *table == "2" || *table == "3" || *table == "all" {
 		wls := bench.Table2Workloads()
@@ -75,10 +94,74 @@ func main() {
 			bench.WriteTable3(out, rows)
 			fmt.Fprintln(out)
 		}
+		jsonRows = append(jsonRows, bench.Report(cfg, rows, bench.Table2Schemes).Rows...)
+	}
+	if *jsonOut != "" {
+		rep := bench.JSONReport{
+			Paper: "The Performance of Coordinated and Independent Checkpointing (Silva & Silva, IPPS 1999)",
+			Nodes: cfg.Fabric.Nodes(),
+			Rows:  jsonRows,
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.WriteJSON(f, rep); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "chkbench: wrote JSON report (%d rows) to %s\n", len(jsonRows), *jsonOut)
 	}
 	if *exp != "" {
 		if err := bench.RunExperiment(out, *exp, cfg, *quick, prog); err != nil {
 			fail(err)
+		}
+	}
+	if *traceOut != "" || *metrics {
+		wl, err := bench.WorkloadByName(*app)
+		if err != nil {
+			fail(err)
+		}
+		var schemes []ckpt.Variant
+		switch {
+		case *scheme != "":
+			v, err := bench.SchemeByName(*scheme)
+			if err != nil {
+				fail(err)
+			}
+			schemes = []ckpt.Variant{v}
+		case *traceOut != "":
+			schemes = []ckpt.Variant{ckpt.CoordNBMS}
+		default:
+			schemes = bench.Table2Schemes
+		}
+		normal, bds, err := bench.MeasureBreakdown(cfg, wl, schemes, *ckpts, prog)
+		if err != nil {
+			fail(err)
+		}
+		if *metrics {
+			bench.WriteBreakdown(out, wl.Name, normal, bds)
+			fmt.Fprintln(out)
+			if len(bds) == 1 {
+				bench.WriteMetricsSummary(out, bds[0].Obs)
+				fmt.Fprintln(out)
+			}
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fail(err)
+			}
+			if err := bds[0].Obs.WriteChromeTrace(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "chkbench: wrote Chrome trace of %s under %s to %s (open in Perfetto or chrome://tracing)\n",
+				wl.Name, bds[0].Scheme, *traceOut)
 		}
 	}
 }

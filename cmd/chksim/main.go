@@ -7,6 +7,7 @@
 //	chksim -app SOR-512                          # failure-free baseline
 //	chksim -app SOR-512 -scheme NBMS -ckpts 3    # three staggered checkpoints
 //	chksim -app ISING-512 -scheme Indep -interval 30s
+//	chksim -app SOR-256 -scheme NBMS -trace out.json   # Chrome trace of the run
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -26,6 +28,7 @@ func main() {
 	scheme := flag.String("scheme", "", "checkpointing scheme: B, NB, NBM, NBMS, Indep, Indep_M")
 	interval := flag.Duration("interval", 0, "checkpoint interval (virtual time); default exec/4")
 	ckpts := flag.Int("ckpts", 3, "number of checkpoints (0 = unlimited)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the checkpointed run to this file")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -35,6 +38,9 @@ func main() {
 	wl, err := bench.WorkloadByName(*app)
 	if err != nil {
 		fail(err)
+	}
+	if *traceOut != "" && *scheme == "" {
+		fail(fmt.Errorf("-trace records a checkpointed run; pick one with -scheme"))
 	}
 	cfg := core.Config{Machine: par.DefaultConfig()}
 	base, err := core.Run(wl, cfg)
@@ -56,6 +62,9 @@ func main() {
 		cfg.Interval = base.Exec / sim.Duration(*ckpts+1)
 	}
 	cfg.MaxCheckpoints = *ckpts
+	if *traceOut != "" {
+		cfg.Obs = obs.New()
+	}
 	res, err := core.Run(wl, cfg)
 	if err != nil {
 		fail(err)
@@ -76,5 +85,23 @@ func main() {
 		float64(res.StoragePeak)/1e6, len(res.Records))
 	for i, lat := range st.RoundLatency {
 		fmt.Printf("  round %d latency     %10.3fs\n", i+1, lat.Seconds())
+	}
+	if *traceOut != "" {
+		o := cfg.Obs
+		fmt.Printf("  phase totals        sync %.3fs, memcopy %.3fs, disk %.3fs, chan %.3fs, token %.3fs (busy seconds over all nodes)\n",
+			o.SpanTotal("ckpt.sync").Seconds(), o.SpanTotal("ckpt.memcopy").Seconds(),
+			o.SpanTotal("ckpt.disk_write").Seconds(), o.SpanTotal("ckpt.chan_write").Seconds(),
+			o.SpanTotal("ckpt.token_wait").Seconds())
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := o.WriteChromeTrace(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "chksim: wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/ckpt"
+	"repro/internal/par"
+)
+
+// JSONScheme is one scheme's measurements for one workload, with the same
+// normalization as the printed tables.
+type JSONScheme struct {
+	Scheme         string  `json:"scheme"`
+	ExecSec        float64 `json:"exec_sec"`
+	OverheadSec    float64 `json:"overhead_sec"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	PerCkptSec     float64 `json:"per_ckpt_sec"`
+	CompletedCkpts float64 `json:"completed_ckpts"`
+}
+
+// JSONRow is one workload's row of the machine-readable report.
+type JSONRow struct {
+	Workload    string       `json:"workload"`
+	NormalSec   float64      `json:"normal_sec"`
+	IntervalSec float64      `json:"interval_sec"`
+	Ckpts       int          `json:"ckpts"`
+	Schemes     []JSONScheme `json:"schemes"`
+}
+
+// JSONReport is the machine-readable form of the reproduced tables.
+type JSONReport struct {
+	Paper string    `json:"paper"`
+	Nodes int       `json:"nodes"`
+	Rows  []JSONRow `json:"rows"`
+}
+
+// Report converts measured rows into the JSON report structure, covering the
+// given schemes in order.
+func Report(cfg par.Config, rows []Row, schemes []ckpt.Variant) JSONReport {
+	rep := JSONReport{
+		Paper: "The Performance of Coordinated and Independent Checkpointing (Silva & Silva, IPPS 1999)",
+		Nodes: cfg.Fabric.Nodes(),
+	}
+	for _, r := range rows {
+		jr := JSONRow{
+			Workload:    r.Workload,
+			NormalSec:   r.Normal.Seconds(),
+			IntervalSec: r.Interval.Seconds(),
+			Ckpts:       r.Ckpts,
+		}
+		for _, v := range schemes {
+			if _, ok := r.Exec[v]; !ok {
+				continue
+			}
+			jr.Schemes = append(jr.Schemes, JSONScheme{
+				Scheme:         v.String(),
+				ExecSec:        r.Exec[v].Seconds(),
+				OverheadSec:    r.Overhead(v).Seconds(),
+				OverheadPct:    r.Percent(v),
+				PerCkptSec:     r.PerCkpt(v).Seconds(),
+				CompletedCkpts: r.done(v),
+			})
+		}
+		rep.Rows = append(rep.Rows, jr)
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func WriteJSON(w io.Writer, rep JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -49,6 +50,8 @@ type coordinated struct {
 	stats   Stats
 	records []Record
 	pending []Record // records of the in-flight round, promoted at commit
+
+	roundSpan obs.Span // open "ckpt.round" span of the in-flight round
 }
 
 func newCoordinated(v Variant, opt Options) *coordinated {
@@ -109,6 +112,8 @@ func (s *coordinated) startRound() {
 	s.roundStart = s.m.Eng.Now()
 	s.acks = make(map[int]bool)
 	s.pending = nil
+	s.roundSpan = s.m.Obs.Start(0, obs.TidCoord, "ckpt.round").WithArg("round", int64(s.round))
+	s.m.Obs.Add(0, "ckpt.marker_rounds", 1)
 	coord := s.m.Nodes[0]
 	for i := range s.nodes {
 		s.proto(1)
@@ -150,6 +155,8 @@ func (s *coordinated) commitRound(round int) {
 	s.stats.Rounds++
 	s.stats.Checkpoints += len(s.nodes)
 	s.stats.RoundLatency = append(s.stats.RoundLatency, s.m.Eng.Now().Sub(s.roundStart))
+	s.roundSpan.End()
+	s.m.Obs.InstantArg(0, obs.TidCoord, "ckpt.commit", "round", int64(round))
 	coord := s.m.Nodes[0]
 	for i := range s.nodes {
 		s.proto(1)
@@ -178,6 +185,8 @@ type coordNode struct {
 
 	appGate   *sim.Gate // blocks the application in B and NB
 	tokenGate *sim.Gate // staggering token (NBMS)
+
+	syncSpan obs.Span // "ckpt.sync": round begin until the local safe point
 
 	jobs *sim.Mailbox[func(p *sim.Proc)]
 }
@@ -287,6 +296,7 @@ func (cn *coordNode) beginRound(round int) {
 	cn.stateWritten, cn.chanQueued, cn.chanWritten, cn.acked = false, false, false, false
 	cn.appGate = sim.NewGate(cn.n.M.Eng)
 	cn.tokenGate = sim.NewGate(cn.n.M.Eng)
+	cn.syncSpan = cn.s.m.Obs.Start(cn.n.ID, obs.TidProto, "ckpt.sync").WithArg("round", int64(round))
 	if cn.s.v == CoordNBMS && cn.n.ID == 0 {
 		cn.tokenGate.Open() // the ring starts at the coordinator's node
 	}
@@ -331,15 +341,20 @@ func (a ckptAction) Run(p *sim.Proc, n *par.Node) {
 func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 	n := cn.n
 	s := cn.s
+	cn.syncSpan.End() // reached the local safe point
 	var start sim.Time
+	var blockedSpan obs.Span
 	if p != nil {
 		start = p.Now()
+		blockedSpan = s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.blocked").WithArg("round", int64(round))
 	}
 	state := padImage(n.Snap.Snapshot(), n.M.Cfg.CkptImageBytes)
 	if s.v.MemBuffered() && p != nil {
 		// Main-memory checkpointing: the application pays only for the copy.
 		d := n.M.MemCopyTime(len(state))
+		msp := s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.memcopy")
 		p.Sleep(d)
+		msp.End()
 		s.stats.MemCopyTime += d
 	}
 	cn.stateBuf = state
@@ -374,6 +389,8 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 	case CoordB, CoordNB:
 		cn.appGate.Wait(p) // opened on write completion (NB) or commit (B)
 	}
+	blockedSpan.End()
+	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
 	s.stats.AppBlocked += p.Now().Sub(start)
 }
 
@@ -383,9 +400,14 @@ func (cn *coordNode) writeStateJob(round int, state []byte) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		s := cn.s
 		if s.v == CoordNBMS {
+			tsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.token_wait").WithArg("round", int64(round))
 			cn.tokenGate.Wait(p)
+			tsp.End()
 		}
+		wsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("round", int64(round))
 		writeSegmented(p, cn.n, coordStatePath(round, cn.n.ID), state, true)
+		wsp.End()
+		s.m.Obs.Add(cn.n.ID, "ckpt.state_bytes", int64(len(state)))
 		s.stats.StateBytes += int64(len(state))
 		s.pending = append(s.pending, Record{
 			Rank: cn.n.ID, Index: round, At: p.Now(), StateBytes: len(state),
@@ -425,10 +447,12 @@ func (cn *coordNode) maybeFinishLogging() {
 	}
 	cn.jobs.Put(func(p *sim.Proc) {
 		data := encodeChanLog(logCopy)
+		wsp := cn.s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.chan_write").WithArg("round", int64(round))
 		cn.n.StorageCall(p, storage.Request{
 			Op: storage.OpWrite, Path: coordChanPath(round, cn.n.ID),
 			Data: data, Durable: true,
 		})
+		wsp.End()
 		cn.s.stats.ChanBytes += int64(len(data))
 		for i := range cn.s.pending {
 			if cn.s.pending[i].Rank == cn.n.ID && cn.s.pending[i].Index == round {

@@ -2,10 +2,11 @@ package ckpt
 
 import (
 	"fmt"
-	"repro/internal/fabric"
-	"repro/internal/mp"
 	"sort"
 
+	"repro/internal/fabric"
+	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -222,10 +223,15 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 	}
 	in.ckptConsumed = consumed
 
+	blockedSpan := s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.blocked").WithArg("index", int64(k))
 	if s.v.MemBuffered() {
 		d := n.M.MemCopyTime(len(state))
+		msp := s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.memcopy")
 		p.Sleep(d)
+		msp.End()
 		s.stats.MemCopyTime += d
+		blockedSpan.End()
+		s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
 		s.stats.AppBlocked += p.Now().Sub(start)
 		in.jobs.Put(in.writeJob(k, closedDeps, state, lib, nil))
 		return
@@ -234,6 +240,8 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 	gate := sim.NewGate(n.M.Eng)
 	in.jobs.Put(in.writeJob(k, closedDeps, state, lib, gate))
 	gate.Wait(p)
+	blockedSpan.End()
+	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
 	s.stats.AppBlocked += p.Now().Sub(start)
 }
 
@@ -243,7 +251,11 @@ func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Ga
 	return func(p *sim.Proc) {
 		s := in.s
 		data := encodeIndepCkpt(k, deps, state, lib)
+		wsp := s.m.Obs.Start(in.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("index", int64(k))
 		writeSegmented(p, in.n, indepPath(in.n.ID, k), data, false)
+		wsp.End()
+		s.m.Obs.Add(in.n.ID, "ckpt.state_bytes", int64(len(state)))
+		s.m.Obs.InstantArg(in.n.ID, obs.TidDaemon, "ckpt.commit", "index", int64(k))
 		s.stats.StateBytes += int64(len(state))
 		s.stats.Checkpoints++
 		s.records = append(s.records, Record{

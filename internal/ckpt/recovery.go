@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -49,12 +50,16 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 	rep := &RecoveryReport{StartedAt: m.Eng.Now(), Done: sim.NewGate(m.Eng)}
 
 	m.Eng.Spawn("recovery", func(p *sim.Proc) {
+		total := m.Obs.Start(0, obs.TidCoord, "recover.total")
 		// The daemons are not attached yet, so the orchestrator may use the
 		// coordinator node's storage path directly to find the last
 		// committed round.
 		node0 := m.Nodes[0]
 		round := 0
-		if reply := node0.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordMetaPath}); reply.Err == nil {
+		msp := m.Obs.Start(0, obs.TidCoord, "recover.read_meta")
+		reply := node0.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordMetaPath})
+		msp.End()
+		if reply.Err == nil {
 			r, err := parseMetaRecord(reply.Data)
 			if err != nil {
 				panic(err)
@@ -71,6 +76,7 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 		for rank := range m.Nodes {
 			rank := rank
 			sch.(jobEnqueuer).EnqueueJob(rank, func(p *sim.Proc) {
+				rsp := m.Obs.Start(rank, obs.TidDaemon, "recover.restore").WithArg("round", int64(round))
 				prog := factory(rank)
 				node := m.Nodes[rank]
 				if round > 0 {
@@ -97,10 +103,12 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 					}
 					rep.ChanMsgs += len(msgs)
 				}
+				rsp.End()
 				w.Launch(rank, prog)
 				remaining--
 				if remaining == 0 {
 					rep.CompletedAt = p.Now()
+					total.End()
 					rep.Done.Open()
 				}
 			})

@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/ckpt"
 	"repro/internal/mp"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -32,6 +33,11 @@ type Config struct {
 
 	// SkipCheck disables result verification against the workload oracle.
 	SkipCheck bool
+
+	// Obs, when non-nil, collects metrics, phase spans and trace events for
+	// the run. The default (nil) disables all instrumentation at zero cost
+	// and — by construction — leaves the virtual schedule untouched.
+	Obs *obs.Observer
 }
 
 // Default returns a configuration of the paper's testbed machine with no
@@ -73,6 +79,7 @@ func (c Config) CheckpointingOn() bool { return c.Interval > 0 || c.FirstAt > 0 
 // failures (deadlock, panics) and oracle mismatches.
 func Run(wl apps.Workload, cfg Config) (Result, error) {
 	m := par.NewMachine(cfg.Machine)
+	m.SetObserver(cfg.Obs)
 	var sch ckpt.Scheme
 	if cfg.CheckpointingOn() {
 		sch = ckpt.New(cfg.Scheme, ckpt.Options{
@@ -80,6 +87,7 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 			FirstAt:        cfg.FirstAt,
 			MaxCheckpoints: cfg.MaxCheckpoints,
 		})
+		cfg.Obs.SetScheme(sch.Name())
 		sch.Attach(m)
 	}
 	w := mp.NewWorld(m)

@@ -14,6 +14,7 @@ package fabric
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -97,6 +98,11 @@ type Network struct {
 	// TransitHook, when set, is told about every message forwarded through
 	// an intermediate node (software routing CPU accounting).
 	TransitHook func(node NodeID, bytes int)
+
+	// Obs receives per-sender traffic counters and the queue-wait histogram
+	// of the mesh→host direction of the host link (the path every stable-
+	// storage write takes); nil disables the instrumentation.
+	Obs *obs.Observer
 
 	totalMsgs  int64
 	totalBytes int64
@@ -206,6 +212,8 @@ func (n *Network) Send(sender *sim.Proc, env *Envelope) {
 	env.SentAt = n.eng.Now()
 	n.totalMsgs++
 	n.totalBytes += int64(env.Size)
+	n.Obs.Add(int(env.Src), "fabric.msgs_sent", 1)
+	n.Obs.Add(int(env.Src), "fabric.bytes_sent", int64(env.Size))
 	if sender != nil && n.cfg.SendOverhead > 0 {
 		sender.Sleep(n.cfg.SendOverhead)
 	}
@@ -217,22 +225,39 @@ func (n *Network) Send(sender *sim.Proc, env *Envelope) {
 	n.sendSeq[pair]++
 	pairSeq := n.sendSeq[pair]
 	path := n.Path(env.Src, env.Dst)
+	hostHop := [2]NodeID{n.cfg.HostAttach, n.cfg.Host()}
 	n.eng.Spawn(fmt.Sprintf("courier:%d->%d#%d", env.Src, env.Dst, env.Seq), func(p *sim.Proc) {
 		for _, hop := range path {
 			l := n.links[hop]
 			remaining := env.Size
+			// Queue-wait accounting for the host-link hop: the time this
+			// message's packets spend waiting behind competing traffic for
+			// the shared path to stable storage. Observing the clock does not
+			// perturb the acquisition order, so instrumented runs keep the
+			// exact virtual schedule.
+			measure := n.Obs.Enabled() && hop == hostHop
+			var waited sim.Duration
 			for {
 				chunk := remaining
 				if n.cfg.PacketBytes > 0 && chunk > n.cfg.PacketBytes {
 					chunk = n.cfg.PacketBytes
 				}
-				l.res.Acquire(p)
+				if measure {
+					t0 := p.Now()
+					l.res.Acquire(p)
+					waited += p.Now().Sub(t0)
+				} else {
+					l.res.Acquire(p)
+				}
 				p.Sleep(l.lat + sim.BytesAt(chunk, l.bw))
 				l.res.Release()
 				remaining -= chunk
 				if remaining <= 0 {
 					break
 				}
+			}
+			if measure {
+				n.Obs.ObserveDur(int(env.Src), "storage.hostlink_queue_wait", waited)
 			}
 			l.bytes += int64(env.Size)
 			l.msgs++

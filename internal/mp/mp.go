@@ -282,6 +282,8 @@ func (e *Env) send(dst, tag int, data []byte) {
 	}
 	e.MsgsSent++
 	e.BytesSent += int64(len(data))
+	e.node.M.Obs.Add(e.Rank, "mp.msgs_sent", 1)
+	e.node.M.Obs.Add(e.Rank, "mp.bytes_sent", int64(len(data)))
 	e.node.Send(e.P, fabric.NodeID(dst), par.PortApp, msg, len(data))
 	if e.node.LogSend != nil && dst != e.Rank {
 		e.node.LogSend(dst, msg)
@@ -335,6 +337,7 @@ func (e *Env) Recv(src, tag int) *Message {
 				e.ssnIn[m.Src] = m.SSN
 			}
 			e.W.returnCredit(m.Src, e.Rank)
+			e.node.M.Obs.Add(e.Rank, "mp.msgs_delivered", 1)
 			if e.node.OnConsume != nil {
 				e.node.OnConsume(m.Src, m.Meta, m.SSN)
 			}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are in microseconds of virtual time.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+func usec(t int64) float64 { return float64(t) / 1e3 }
+
+// cat derives the event category from the metric-style dotted name
+// ("ckpt.disk_write" -> "ckpt").
+func cat(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func defaultTidName(tid int) string {
+	switch tid {
+	case TidApp:
+		return "app"
+	case TidDaemon:
+		return "ckptd"
+	case TidProto:
+		return "proto"
+	case TidCoord:
+		return "coord"
+	}
+	return fmt.Sprintf("tid%d", tid)
+}
+
+// WriteChromeTrace exports all completed spans and instant events as Chrome
+// trace_event JSON: one pid per simulated node (plus the host), one tid per
+// process on the node, spans as "X" complete events, instants as "i" events.
+// The output is deterministic: events are sorted by (timestamp, pid, tid,
+// duration desc, record order). A nil observer writes a valid empty trace.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if o != nil {
+		doc.OtherData = map[string]string{"scheme": o.scheme, "clock": "virtual"}
+		doc.TraceEvents = o.chromeEvents()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func (o *Observer) chromeEvents() []chromeEvent {
+	// Collect the (pid, tid) tracks actually used, plus named-but-unused pids
+	// so process names are stable across runs of differing activity.
+	type track struct{ pid, tid int }
+	pids := map[int]bool{}
+	tracks := map[track]bool{}
+	for _, e := range o.spans {
+		pids[e.Pid] = true
+		tracks[track{e.Pid, e.Tid}] = true
+	}
+	for _, e := range o.instants {
+		pids[e.Pid] = true
+		tracks[track{e.Pid, e.Tid}] = true
+	}
+	for pid := range o.pidNames {
+		pids[pid] = true
+	}
+
+	var meta []chromeEvent
+	for pid := range pids {
+		name := o.pidNames[pid]
+		if name == "" {
+			name = fmt.Sprintf("pid%d", pid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for tr := range tracks {
+		name := o.tidNames[[2]int{tr.pid, tr.tid}]
+		if name == "" {
+			name = defaultTidName(tr.tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tr.pid, Tid: tr.tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool {
+		if meta[i].Name != meta[j].Name {
+			return meta[i].Name < meta[j].Name // process_name before thread_name
+		}
+		if meta[i].Pid != meta[j].Pid {
+			return meta[i].Pid < meta[j].Pid
+		}
+		return meta[i].Tid < meta[j].Tid
+	})
+
+	type sortable struct {
+		ev  chromeEvent
+		dur float64
+		seq uint64
+	}
+	events := make([]sortable, 0, len(o.spans)+len(o.instants))
+	for _, e := range o.spans {
+		d := usec(int64(e.End) - int64(e.Start))
+		ce := chromeEvent{
+			Name: e.Name, Cat: cat(e.Name), Ph: "X",
+			Ts: usec(int64(e.Start)), Dur: &d, Pid: e.Pid, Tid: e.Tid,
+		}
+		if e.ArgKey != "" {
+			ce.Args = map[string]any{e.ArgKey: e.ArgVal}
+		}
+		events = append(events, sortable{ev: ce, dur: d, seq: e.Seq})
+	}
+	for _, e := range o.instants {
+		ce := chromeEvent{
+			Name: e.Name, Cat: cat(e.Name), Ph: "i",
+			Ts: usec(int64(e.At)), Pid: e.Pid, Tid: e.Tid, S: "p",
+		}
+		if e.ArgKey != "" {
+			ce.Args = map[string]any{e.ArgKey: e.ArgVal}
+		}
+		events = append(events, sortable{ev: ce, seq: e.Seq})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.ev.Ts != b.ev.Ts {
+			return a.ev.Ts < b.ev.Ts
+		}
+		if a.ev.Pid != b.ev.Pid {
+			return a.ev.Pid < b.ev.Pid
+		}
+		if a.ev.Tid != b.ev.Tid {
+			return a.ev.Tid < b.ev.Tid
+		}
+		if a.dur != b.dur {
+			return a.dur > b.dur // longer first so nested slices render inside
+		}
+		return a.seq < b.seq
+	})
+
+	out := meta
+	for _, s := range events {
+		out = append(out, s.ev)
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -105,6 +106,11 @@ type Machine struct {
 	// in-flight traffic from a previous incarnation is discarded on arrival.
 	Epoch int
 
+	// Obs is the machine-wide observability sink; nil (the default) disables
+	// all instrumentation at zero cost. Install it with SetObserver before
+	// the simulation starts.
+	Obs *obs.Observer
+
 	appsLive  int
 	stopHooks []func()
 	exitHooks []func(nodeID int)
@@ -145,6 +151,26 @@ func NewMachine(cfg Config) *Machine {
 
 // NumNodes returns the number of compute nodes.
 func (m *Machine) NumNodes() int { return len(m.Nodes) }
+
+// SetObserver installs the observability sink across the whole machine: it
+// binds the observer to the engine's virtual clock, names the trace pids
+// (one per node, plus the host), and hands the observer to the fabric and
+// the storage server. Call it before the simulation starts.
+func (m *Machine) SetObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	m.Obs = o
+	o.Bind(m.Eng)
+	for i := range m.Nodes {
+		o.PidName(i, fmt.Sprintf("node%d", i))
+	}
+	host := int(m.Cfg.Fabric.Host())
+	o.PidName(host, "host")
+	o.TidName(host, obs.TidDaemon, "storage")
+	m.Net.Obs = o
+	m.Store.SetObserver(o, host)
+}
 
 // hostDeliver services envelopes addressed to the host: stable-storage
 // requests carried as payloads.

@@ -2,6 +2,7 @@ package rdg
 
 import (
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -57,7 +58,11 @@ func (gc *GarbageCollector) scan() {
 	recs := gc.sch.Records()
 	g := FromRecords(gc.m.NumNodes(), recs)
 	line := g.RecoveryLine()
-	for _, id := range g.Garbage(line) {
+	garbage := g.Garbage(line)
+	// The line computation itself consumes no virtual time, so it shows up
+	// as an instant on the coordinator track rather than a span.
+	gc.m.Obs.InstantArg(0, obs.TidCoord, "recover.line", "garbage", int64(len(garbage)))
+	for _, id := range garbage {
 		if gc.deleted[id] {
 			continue
 		}
@@ -65,11 +70,14 @@ func (gc *GarbageCollector) scan() {
 		id := id
 		size := recordSize(recs, id)
 		gc.sch.(jobEnqueuer).EnqueueJob(id.Rank, func(p *sim.Proc) {
+			sp := gc.m.Obs.Start(id.Rank, obs.TidDaemon, "rdg.gc_delete").WithArg("index", int64(id.Index))
 			gc.m.Nodes[id.Rank].StorageCall(p, storage.Request{
 				Op: storage.OpDelete, Path: ckpt.IndepCheckpointPath(id.Rank, id.Index),
 			})
+			sp.End()
 			gc.Reclaims++
 			gc.Freed += size
+			gc.m.Obs.Add(id.Rank, "rdg.reclaimed_bytes", size)
 		})
 	}
 	gc.m.Eng.After(gc.ivl, gc.scan)

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -77,6 +78,11 @@ type Server struct {
 	reqCount     int64
 	busy         sim.Duration
 	peakOccupied int64
+
+	// observability (nil obs disables everything)
+	obs    *obs.Observer
+	obsPid int        // trace pid of the host machine
+	queued []sim.Time // submit times of queued requests, parallel to reqs
 }
 
 // New creates the server and spawns its service process on eng.
@@ -92,20 +98,71 @@ func New(eng *sim.Engine, cfg Config) *Server {
 	return s
 }
 
+// SetObserver installs the observability sink; pid is the trace pid of the
+// host machine. Call before the simulation starts.
+func (s *Server) SetObserver(o *obs.Observer, pid int) {
+	s.obs = o
+	s.obsPid = pid
+}
+
 // Submit enqueues a request; it never blocks the caller.
-func (s *Server) Submit(req Request) { s.reqs.Put(req) }
+func (s *Server) Submit(req Request) {
+	if s.obs.Enabled() {
+		s.queued = append(s.queued, s.eng.Now())
+	}
+	s.reqs.Put(req)
+}
 
 func (s *Server) serve(p *sim.Proc) {
 	for {
 		req := s.reqs.GetAny(p)
 		s.reqCount++
+		if s.obs.Enabled() && len(s.queued) > 0 {
+			// Requests are consumed FIFO, so the oldest submit time is this
+			// request's: the difference is its wait in the server queue.
+			s.obs.ObserveDur(s.obsPid, "storage.queue_wait", p.Now().Sub(s.queued[0]))
+			s.queued = s.queued[1:]
+		}
 		start := p.Now()
+		sp := s.obs.Start(s.obsPid, obs.TidDaemon, opSpanName(req.Op))
 		reply := s.apply(p, req)
+		sp.End()
 		s.busy += p.Now().Sub(start)
+		if s.obs.Enabled() {
+			switch req.Op {
+			case OpWrite, OpAppend:
+				s.obs.Add(s.obsPid, "storage.bytes_written", int64(len(req.Data)))
+			case OpRead:
+				s.obs.Add(s.obsPid, "storage.bytes_read", int64(len(reply.Data)))
+			}
+			s.obs.Add(s.obsPid, "storage.requests", 1)
+			s.obs.Gauge(s.obsPid, "storage.occupied_bytes", float64(s.Occupied()))
+		}
 		if req.Done != nil {
 			req.Done(reply)
 		}
 	}
+}
+
+// opSpanName maps a request op to its trace span name.
+func opSpanName(op Op) string {
+	switch op {
+	case OpWrite:
+		return "storage.write"
+	case OpAppend:
+		return "storage.append"
+	case OpRead:
+		return "storage.read"
+	case OpCommit:
+		return "storage.commit"
+	case OpDelete:
+		return "storage.delete"
+	case OpList:
+		return "storage.list"
+	case OpStat:
+		return "storage.stat"
+	}
+	return "storage.op"
 }
 
 func (s *Server) apply(p *sim.Proc, req Request) Reply {
