@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet
+.PHONY: build test race vet ci
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,10 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# What the GitHub workflow runs (.github/workflows/ci.yml): the full suite
+# under the race detector, plus build and vet.
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...

@@ -8,6 +8,7 @@
 //	chkbench -table 3        # Table 3: percentage overheads
 //	chkbench -table all      # everything (Tables 2 and 3 share runs)
 //	chkbench -quick          # reduced workload sizes (fast smoke run)
+//	chkbench -list           # enumerate known applications and schemes
 //	chkbench -exp sync       # E4: synchronization-cost decomposition
 //	chkbench -exp storage    # E5: stable-storage overhead comparison
 //	chkbench -exp stagger    # E8: staggering ablation
@@ -41,10 +42,22 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of one checkpointed run (-app/-scheme/-ckpts) to this file")
 	metrics := flag.Bool("metrics", false, "print the overhead breakdown (and, for a single -scheme, the metric summary) of -app")
 	app := flag.String("app", "SOR-256", "workload for -trace/-metrics, e.g. SOR-256, ISING-512, GAUSS-384")
-	scheme := flag.String("scheme", "", "scheme for -trace/-metrics: B, NB, NBM, NBMS, Indep, Indep_M (default NBMS for -trace, all Table 2 schemes for -metrics)")
+	scheme := flag.String("scheme", "", "scheme for -trace/-metrics, see -list (default NBMS for -trace, all Table 2 schemes for -metrics)")
 	ckpts := flag.Int("ckpts", 3, "checkpoints per run for -trace/-metrics")
+	list := flag.Bool("list", false, "list the known applications and schemes, then exit")
 	flag.Parse()
 
+	if *list {
+		fmt.Println("Applications (-app NAME-SIZE; the size scales the per-node state):")
+		for _, name := range bench.AppNames() {
+			fmt.Println("  " + name)
+		}
+		fmt.Println("Schemes (-scheme; case-insensitive, Coord_ prefix and underscores optional):")
+		for _, name := range bench.SchemeNames() {
+			fmt.Println("  " + name)
+		}
+		return
+	}
 	if *jsonOut != "" && *table == "" {
 		*table = "all" // -json reports table rows, so it implies the table runs
 	}

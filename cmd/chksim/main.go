@@ -25,7 +25,7 @@ import (
 
 func main() {
 	app := flag.String("app", "SOR-256", "workload, e.g. ISING-512, SOR-256, TSP-16")
-	scheme := flag.String("scheme", "", "checkpointing scheme: B, NB, NBM, NBMS, Indep, Indep_M")
+	scheme := flag.String("scheme", "", "checkpointing scheme: B, NB, NBM, NBMS, Indep, Indep_M, Indep_Log, CIC, CIC_M")
 	interval := flag.Duration("interval", 0, "checkpoint interval (virtual time); default exec/4")
 	ckpts := flag.Int("ckpts", 3, "number of checkpoints (0 = unlimited)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of the checkpointed run to this file")
@@ -76,6 +76,10 @@ func main() {
 		100*float64(res.Exec-base.Exec)/float64(base.Exec))
 	fmt.Printf("  interval            %10.2fs\n", cfg.Interval.Seconds())
 	fmt.Printf("  checkpoints         %10d  (%d global rounds)\n", st.Checkpoints, st.Rounds)
+	if v.CommunicationInduced() {
+		fmt.Printf("  forced/basic/final  %10d / %d / %d\n",
+			st.ForcedCkpts, st.Checkpoints-st.ForcedCkpts, st.FinalCkpts)
+	}
 	fmt.Printf("  state written       %10.2f MB\n", float64(st.StateBytes)/1e6)
 	fmt.Printf("  channel state       %10.2f KB\n", float64(st.ChanBytes)/1e3)
 	fmt.Printf("  protocol messages   %10d  (%.1f KB)\n", st.ProtoMsgs, float64(st.ProtoBytes)/1e3)

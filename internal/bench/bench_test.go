@@ -41,6 +41,8 @@ func TestSchemeByName(t *testing.T) {
 	cases := map[string]ckpt.Variant{
 		"NB": ckpt.CoordNB, "nbms": ckpt.CoordNBMS, "Coord_NBM": ckpt.CoordNBM,
 		"indep": ckpt.Indep, "Indep_M": ckpt.IndepM, "b": ckpt.CoordB,
+		"cic": ckpt.CIC, "CIC_M": ckpt.CICM, "cicm": ckpt.CICM,
+		"indep_log": ckpt.IndepLog,
 	}
 	for name, want := range cases {
 		got, err := SchemeByName(name)
@@ -104,7 +106,7 @@ func TestSyntheticWorkloadChecksOut(t *testing.T) {
 }
 
 func TestAsyncWorkloadChecksOut(t *testing.T) {
-	if _, err := coreRunNormal(asyncWorkload(100, 5_000), par.DefaultConfig()); err != nil {
+	if _, err := coreRunNormal(AsyncWorkload(100, 5_000), par.DefaultConfig()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -149,7 +151,7 @@ func TestRecoveryLineOnRealRunIsConsistent(t *testing.T) {
 	// End-to-end integration: run the async workload under Indep, then the
 	// rdg invariants must hold on the records a real run produced.
 	cfg := par.DefaultConfig()
-	wl := asyncWorkload(300, 20_000)
+	wl := AsyncWorkload(300, 20_000)
 	base, err := coreRunNormal(wl, cfg)
 	if err != nil {
 		t.Fatal(err)

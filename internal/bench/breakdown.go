@@ -24,6 +24,7 @@ type Breakdown struct {
 	OverheadPct float64
 
 	Blocked   sim.Duration // application time lost to checkpointing (ckpt.blocked_time)
+	Forced    sim.Duration // CIC forced checkpoints before message delivery (cic.forced)
 	Sync      sim.Duration // round begin until the local safe point (ckpt.sync)
 	MemCopy   sim.Duration // main-memory state copies (ckpt.memcopy)
 	DiskWrite sim.Duration // durable state writes, queueing included (ckpt.disk_write)
@@ -64,6 +65,7 @@ func MeasureBreakdown(cfg par.Config, wl apps.Workload, schemes []ckpt.Variant, 
 			Exec:        res.Exec,
 			OverheadPct: 100 * float64(res.Exec-base.Exec) / float64(base.Exec),
 			Blocked:     res.Ckpt.AppBlocked,
+			Forced:      o.SpanTotal("cic.forced"),
 			Sync:        o.SpanTotal("ckpt.sync"),
 			MemCopy:     o.SpanTotal("ckpt.memcopy"),
 			DiskWrite:   o.SpanTotal("ckpt.disk_write"),
@@ -81,12 +83,12 @@ func WriteBreakdown(w io.Writer, workload string, normal sim.Duration, bds []Bre
 	t := trace.NewTable(
 		fmt.Sprintf("Overhead breakdown: %s (normal %.2fs; phase columns are busy seconds summed over nodes)",
 			workload, normal.Seconds()),
-		"Scheme", "Exec(s)", "Ovh %", "Blocked", "Sync", "MemCopy", "DiskWrite", "ChanWrite", "TokenWait", "HostWait").
-		Align(1, 2, 3, 4, 5, 6, 7, 8, 9)
+		"Scheme", "Exec(s)", "Ovh %", "Blocked", "Forced", "Sync", "MemCopy", "DiskWrite", "ChanWrite", "TokenWait", "HostWait").
+		Align(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 	for _, b := range bds {
 		t.Rowf(b.Scheme,
 			b.Exec.Seconds(), b.OverheadPct,
-			b.Blocked.Seconds(), b.Sync.Seconds(), b.MemCopy.Seconds(),
+			b.Blocked.Seconds(), b.Forced.Seconds(), b.Sync.Seconds(), b.MemCopy.Seconds(),
 			b.DiskWrite.Seconds(), b.ChanWrite.Seconds(), b.TokenWait.Seconds(),
 			b.HostWait.Seconds())
 	}

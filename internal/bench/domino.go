@@ -73,9 +73,11 @@ func (a *asyncProg) Restore(b []byte) {
 	}
 }
 
-// asyncWorkload packages asyncProg; each rank sends exactly Iters messages
-// and receives exactly Iters, so completion is the oracle.
-func asyncWorkload(iters, stateBytes int) apps.Workload {
+// AsyncWorkload packages asyncProg; each rank sends exactly iters messages
+// and receives exactly iters, so completion is the oracle. It is exported as
+// the canonical domino-provoking workload: the recovery-guarantee tests in
+// package rdg compare schemes on it.
+func AsyncWorkload(iters, stateBytes int) apps.Workload {
 	return apps.Workload{
 		Name: fmt.Sprintf("ASYNC-%d", stateBytes),
 		Make: func(rank, size int) mp.Program {
@@ -93,73 +95,83 @@ func asyncWorkload(iters, stateBytes int) apps.Workload {
 }
 
 // DominoExperiment (E6) quantifies the recovery weakness of independent
-// checkpointing that the paper argues qualitatively: for a range of
-// checkpoint intervals, run the asynchronous workload under Indep, then
-// evaluate the recovery line at many hypothetical failure times and report
-// rollback distance and how often the domino effect reaches a process's
-// initial state. The coordinated comparison line is always "roll back to
-// the last committed round" (bounded by one interval plus the round
-// latency).
+// checkpointing that the paper argues qualitatively, and puts the
+// communication-induced family next to it: for a range of checkpoint
+// intervals, run the asynchronous workload under Indep and CIC, evaluate the
+// recovery line at many hypothetical failure times, and report rollback
+// distance, how often the domino effect reaches a process's initial state,
+// and (for CIC) the price paid in forced checkpoints. The coordinated
+// comparison line is always "roll back to the last committed round" (bounded
+// by one interval plus the round latency).
 func DominoExperiment(w io.Writer, cfg par.Config, quick bool, prog Progress) error {
 	iters := pick(quick, 400, 1500)
-	t := trace.NewTable("E6: independent checkpointing — recovery line vs checkpoint interval (asynchronous workload)",
-		"Interval", "Ckpts taken", "Ckpts on line", "Mean rollback", "Max rollback", "Domino runs").Align(1, 2, 3, 4, 5)
+	t := trace.NewTable("E6: recovery line vs checkpoint interval (asynchronous workload)",
+		"Scheme", "Interval", "Ckpts taken", "Ckpts on line", "Mean rollback", "Max rollback", "Domino runs", "Forced").Align(2, 3, 4, 5, 6, 7)
 	for _, div := range []int{24, 12, 6, 3} {
-		wl := asyncWorkload(iters, 60_000)
-		m := par.NewMachine(cfg)
+		wl := AsyncWorkload(iters, 60_000)
 		base, err := coreRunNormal(wl, cfg)
 		if err != nil {
 			return err
 		}
 		interval := base / sim.Duration(div+1)
-		sch := ckpt.New(ckpt.Indep, ckpt.Options{Interval: interval})
-		sch.Attach(m)
-		world := mp.NewWorld(m)
-		progs := make([]mp.Program, m.NumNodes())
-		for rank := range progs {
-			progs[rank] = wl.Make(rank, m.NumNodes())
-			world.Launch(rank, progs[rank])
-		}
-		if err := m.Run(); err != nil {
-			return err
-		}
-		if err := wl.Check(progs); err != nil {
-			return err
-		}
-		recs := sch.Records()
-		n := m.NumNodes()
-
-		// Evaluate hypothetical failures on a time grid across the run.
-		total := sim.Duration(m.AppsFinished)
-		var meanRb, maxRb sim.Duration
-		domino := 0
-		const samples = 40
-		for s := 1; s <= samples; s++ {
-			failAt := sim.Time(total * sim.Duration(s) / (samples + 1))
-			g := rdg.FromRecordsAt(n, recs, failAt)
-			line := g.RecoveryLine()
-			if g.Domino(line) {
-				domino++
+		for _, v := range []ckpt.Variant{ckpt.Indep, ckpt.CIC} {
+			m := par.NewMachine(cfg)
+			sch := ckpt.New(v, ckpt.Options{Interval: interval})
+			sch.Attach(m)
+			world := mp.NewWorld(m)
+			progs := make([]mp.Program, m.NumNodes())
+			for rank := range progs {
+				progs[rank] = wl.Make(rank, m.NumNodes())
+				world.Launch(rank, progs[rank])
 			}
-			for _, d := range g.RollbackTime(line, failAt) {
-				meanRb += d / sim.Duration(n*samples)
-				if d > maxRb {
-					maxRb = d
+			if err := m.Run(); err != nil {
+				return err
+			}
+			if err := wl.Check(progs); err != nil {
+				return err
+			}
+			recs := sch.Records()
+			n := m.NumNodes()
+
+			// Evaluate hypothetical failures on a time grid across the run.
+			total := sim.Duration(m.AppsFinished)
+			var meanRb, maxRb sim.Duration
+			domino := 0
+			const samples = 40
+			for s := 1; s <= samples; s++ {
+				failAt := sim.Time(total * sim.Duration(s) / (samples + 1))
+				g := rdg.FromRecordsAt(n, recs, failAt)
+				line := g.RecoveryLine()
+				if g.Domino(line) {
+					domino++
+				}
+				for _, d := range g.RollbackTime(line, failAt) {
+					meanRb += d / sim.Duration(n*samples)
+					if d > maxRb {
+						maxRb = d
+					}
 				}
 			}
+			forced := "-"
+			if st := sch.Stats(); v.CommunicationInduced() {
+				forced = fmt.Sprintf("%d", st.ForcedCkpts)
+			}
+			t.Rowf(v.String(), fmt.Sprintf("%.1fs", interval.Seconds()),
+				len(recs), rdgLineSize(n, recs),
+				fmt.Sprintf("%.2fs", meanRb.Seconds()),
+				fmt.Sprintf("%.2fs", maxRb.Seconds()),
+				fmt.Sprintf("%d/%d", domino, samples),
+				forced)
+			prog.logf("%s interval %v: %d ckpts, mean rollback %v", v, interval, len(recs), meanRb)
 		}
-		t.Rowf(fmt.Sprintf("%.1fs", interval.Seconds()),
-			len(recs), rdgLineSize(n, recs),
-			fmt.Sprintf("%.2fs", meanRb.Seconds()),
-			fmt.Sprintf("%.2fs", maxRb.Seconds()),
-			fmt.Sprintf("%d/%d", domino, samples))
-		prog.logf("interval %v: %d ckpts, mean rollback %v", interval, len(recs), meanRb)
 	}
 	t.Write(w)
 	fmt.Fprintln(w, "\nCoordinated checkpointing's rollback is bounded by one interval by")
 	fmt.Fprintln(w, "construction; independent checkpointing can lose far more work, and can")
 	fmt.Fprintln(w, "collapse to the initial state (the domino effect) when messages cross")
 	fmt.Fprintln(w, "every checkpoint interval — exactly the paper's argument in §1/§4.")
+	fmt.Fprintln(w, "Communication-induced checkpointing buys its bounded rollback (and a")
+	fmt.Fprintln(w, "domino-free end state) with the forced checkpoints in the last column.")
 	return nil
 }
 
@@ -172,8 +184,22 @@ func rdgLineSize(n int, recs []ckpt.Record) int {
 // runSchemeForRecords runs wl under a scheme and returns the machine size
 // and the committed checkpoint records (used by the recovery-line analyses).
 func runSchemeForRecords(wl apps.Workload, cfg par.Config, v ckpt.Variant, interval sim.Duration) (int, []ckpt.Record, error) {
+	return RunSchemeForRecords(wl, cfg, v, ckpt.Options{Interval: interval})
+}
+
+// RunSchemeForRecords runs wl under a scheme and returns the machine size
+// and the committed checkpoint records, for recovery-line analyses outside
+// this package (the rdg guarantee tests).
+func RunSchemeForRecords(wl apps.Workload, cfg par.Config, v ckpt.Variant, opt ckpt.Options) (int, []ckpt.Record, error) {
+	n, recs, _, err := RunSchemeForStats(wl, cfg, v, opt)
+	return n, recs, err
+}
+
+// RunSchemeForStats is RunSchemeForRecords plus the scheme's counters, for
+// analyses that also need the forced/basic checkpoint split.
+func RunSchemeForStats(wl apps.Workload, cfg par.Config, v ckpt.Variant, opt ckpt.Options) (int, []ckpt.Record, ckpt.Stats, error) {
 	m := par.NewMachine(cfg)
-	sch := ckpt.New(v, ckpt.Options{Interval: interval})
+	sch := ckpt.New(v, opt)
 	sch.Attach(m)
 	world := mp.NewWorld(m)
 	progs := make([]mp.Program, m.NumNodes())
@@ -182,12 +208,12 @@ func runSchemeForRecords(wl apps.Workload, cfg par.Config, v ckpt.Variant, inter
 		world.Launch(rank, progs[rank])
 	}
 	if err := m.Run(); err != nil {
-		return 0, nil, err
+		return 0, nil, ckpt.Stats{}, err
 	}
 	if err := wl.Check(progs); err != nil {
-		return 0, nil, err
+		return 0, nil, ckpt.Stats{}, err
 	}
-	return m.NumNodes(), sch.Records(), nil
+	return m.NumNodes(), sch.Records(), sch.Stats(), nil
 }
 
 // coreRunNormal measures the failure-free execution time of wl.

@@ -17,6 +17,13 @@ type JSONScheme struct {
 	OverheadPct    float64 `json:"overhead_pct"`
 	PerCkptSec     float64 `json:"per_ckpt_sec"`
 	CompletedCkpts float64 `json:"completed_ckpts"`
+
+	// Checkpoint-count split, for the communication-induced schemes: how many
+	// checkpoints the induced rule forced versus the local timers' basic ones,
+	// plus the per-node termination checkpoints. Zero (and omitted) elsewhere.
+	ForcedCkpts int `json:"forced_ckpts,omitempty"`
+	BasicCkpts  int `json:"basic_ckpts,omitempty"`
+	FinalCkpts  int `json:"final_ckpts,omitempty"`
 }
 
 // JSONRow is one workload's row of the machine-readable report.
@@ -53,14 +60,20 @@ func Report(cfg par.Config, rows []Row, schemes []ckpt.Variant) JSONReport {
 			if _, ok := r.Exec[v]; !ok {
 				continue
 			}
-			jr.Schemes = append(jr.Schemes, JSONScheme{
+			js := JSONScheme{
 				Scheme:         v.String(),
 				ExecSec:        r.Exec[v].Seconds(),
 				OverheadSec:    r.Overhead(v).Seconds(),
 				OverheadPct:    r.Percent(v),
 				PerCkptSec:     r.PerCkpt(v).Seconds(),
 				CompletedCkpts: r.done(v),
-			})
+			}
+			if st, ok := r.Stats[v]; ok && v.CommunicationInduced() {
+				js.ForcedCkpts = st.ForcedCkpts
+				js.BasicCkpts = st.Checkpoints - st.ForcedCkpts
+				js.FinalCkpts = st.FinalCkpts
+			}
+			jr.Schemes = append(jr.Schemes, js)
 		}
 		rep.Rows = append(rep.Rows, jr)
 	}

@@ -44,23 +44,30 @@ func WorkloadByName(name string) (apps.Workload, error) {
 }
 
 // SchemeByName resolves the paper's scheme names (case-insensitive, with or
-// without the "Coord_" prefix).
+// without the "Coord_" prefix, underscores optional). The accepted set is
+// driven by the ckpt variant-name table, so newly registered families show up
+// here without edits.
 func SchemeByName(name string) (ckpt.Variant, error) {
-	switch strings.ToLower(strings.TrimPrefix(strings.ToLower(name), "coord_")) {
-	case "b":
-		return ckpt.CoordB, nil
-	case "nb":
-		return ckpt.CoordNB, nil
-	case "nbm":
-		return ckpt.CoordNBM, nil
-	case "nbms":
-		return ckpt.CoordNBMS, nil
-	case "indep":
-		return ckpt.Indep, nil
-	case "indep_m", "indepm":
-		return ckpt.IndepM, nil
-	case "indep_log", "indeplog":
-		return ckpt.IndepLog, nil
+	want := normScheme(name)
+	for _, canon := range ckpt.VariantNames() {
+		if normScheme(canon) == want || normScheme(strings.TrimPrefix(canon, "Coord_")) == want {
+			v, _ := ckpt.ParseVariant(canon)
+			return v, nil
+		}
 	}
-	return 0, fmt.Errorf("bench: unknown scheme %q (want B, NB, NBM, NBMS, Indep or Indep_M)", name)
+	return 0, fmt.Errorf("bench: unknown scheme %q (want one of %s)", name, strings.Join(SchemeNames(), ", "))
 }
+
+// SchemeNames lists the canonical scheme names, in variant order.
+func SchemeNames() []string { return ckpt.VariantNames() }
+
+// AppNames lists the application families WorkloadByName accepts, each with
+// the example size the quick benchmarks use.
+func AppNames() []string {
+	return []string{
+		"ISING-128", "SOR-128", "GAUSS-128", "ASP-128",
+		"NBODY-256", "TSP-13", "NQUEENS-10", "RING-100000",
+	}
+}
+
+func normScheme(s string) string { return strings.ReplaceAll(strings.ToLower(s), "_", "") }

@@ -20,6 +20,7 @@ type Row struct {
 	Ckpts    int                           // checkpoints requested per run
 	Exec     map[ckpt.Variant]sim.Duration // raw execution time per scheme
 	Done     map[ckpt.Variant]float64      // checkpoint generations actually completed
+	Stats    map[ckpt.Variant]ckpt.Stats   // full scheme counters (forced/basic splits etc.)
 
 	// Independent timers drift (each arms after the previous checkpoint
 	// completes), so near the end of a run a generation may not finish; raw
@@ -84,6 +85,7 @@ func MeasureRows(cfg par.Config, wls []apps.Workload, schemes []ckpt.Variant, ck
 			Ckpts:    ckpts,
 			Exec:     map[ckpt.Variant]sim.Duration{},
 			Done:     map[ckpt.Variant]float64{},
+			Stats:    map[ckpt.Variant]ckpt.Stats{},
 		}
 		prog.logf("%-12s normal %8.2fs  (interval %.0fs)", wl.Name, base.Exec.Seconds(), row.Interval.Seconds())
 		for _, v := range schemes {
@@ -105,6 +107,7 @@ func MeasureRows(cfg par.Config, wls []apps.Workload, schemes []ckpt.Variant, ck
 			}
 			row.Exec[v] = res.Exec
 			row.Done[v] = got
+			row.Stats[v] = res.Ckpt
 			prog.logf("  %-12s %8.2fs  (+%.2fs, %.2f%%)", v, res.Exec.Seconds(),
 				row.Overhead(v).Seconds(), row.Percent(v))
 		}
@@ -113,23 +116,37 @@ func MeasureRows(cfg par.Config, wls []apps.Workload, schemes []ckpt.Variant, ck
 	return rows, nil
 }
 
+// perCkptCell formats PerCkpt for schemes the row measured, "-" otherwise
+// (CIC columns are absent from runs made before the family existed).
+func perCkptCell(r Row, v ckpt.Variant) string {
+	if _, ok := r.Exec[v]; !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", r.PerCkpt(v).Seconds())
+}
+
 // WriteTable1 renders the Table 1 reproduction: overhead per checkpoint in
-// seconds for each scheme, in the paper's column order.
+// seconds for each scheme, in the paper's column order, with the
+// communication-induced columns appended.
 func WriteTable1(w io.Writer, rows []Row) {
 	t := trace.NewTable("Table 1: overhead per checkpoint (seconds)",
-		"Application", "NB", "Indep", "NBM", "Indep_M", "NBMS").Align(1, 2, 3, 4, 5)
+		"Application", "NB", "Indep", "CIC", "NBM", "Indep_M", "CIC_M", "NBMS").Align(1, 2, 3, 4, 5, 6, 7)
 	for _, r := range rows {
 		t.Rowf(r.Workload,
-			r.PerCkpt(ckpt.CoordNB).Seconds(),
-			r.PerCkpt(ckpt.Indep).Seconds(),
-			r.PerCkpt(ckpt.CoordNBM).Seconds(),
-			r.PerCkpt(ckpt.IndepM).Seconds(),
-			r.PerCkpt(ckpt.CoordNBMS).Seconds())
+			perCkptCell(r, ckpt.CoordNB),
+			perCkptCell(r, ckpt.Indep),
+			perCkptCell(r, ckpt.CIC),
+			perCkptCell(r, ckpt.CoordNBM),
+			perCkptCell(r, ckpt.IndepM),
+			perCkptCell(r, ckpt.CICM),
+			perCkptCell(r, ckpt.CoordNBMS))
 	}
 	t.Write(w)
 	nbWins, indepWins := 0, 0
 	nbmWins, indepMWins := 0, 0
 	nbmsBeatsIndepM := 0
+	cicRows, cicAboveIndep := 0, 0
+	var cicForced, cicBasic int
 	for _, r := range rows {
 		if r.PerCkpt(ckpt.CoordNB) <= r.PerCkpt(ckpt.Indep) {
 			nbWins++
@@ -144,6 +161,15 @@ func WriteTable1(w io.Writer, rows []Row) {
 		if r.PerCkpt(ckpt.CoordNBMS) <= r.PerCkpt(ckpt.IndepM) {
 			nbmsBeatsIndepM++
 		}
+		if _, ok := r.Exec[ckpt.CIC]; ok {
+			cicRows++
+			if r.PerCkpt(ckpt.CIC) >= r.PerCkpt(ckpt.Indep) {
+				cicAboveIndep++
+			}
+			st := r.Stats[ckpt.CIC]
+			cicForced += st.ForcedCkpts
+			cicBasic += st.Checkpoints - st.ForcedCkpts
+		}
 	}
 	fmt.Fprintf(w, "\nNB vs Indep: NB better or equal in %d of %d, Indep better in %d (paper: 15 vs 6)\n",
 		nbWins, len(rows), indepWins)
@@ -151,20 +177,42 @@ func WriteTable1(w io.Writer, rows []Row) {
 		indepMWins, len(rows), nbmWins)
 	fmt.Fprintf(w, "NBMS better or equal to Indep_M in %d of %d (paper: all)\n",
 		nbmsBeatsIndepM, len(rows))
+	if cicRows > 0 {
+		fmt.Fprintf(w, "CIC at or above Indep in %d of %d (its domino-free recovery costs forced checkpoints: %d forced vs %d basic across the column)\n",
+			cicAboveIndep, cicRows, cicForced, cicBasic)
+	}
+}
+
+// adjExecCell formats AdjustedExec for schemes the row measured.
+func adjExecCell(r Row, v ckpt.Variant) string {
+	if _, ok := r.Exec[v]; !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", r.AdjustedExec(v).Seconds())
+}
+
+// percentCell formats Percent for schemes the row measured.
+func percentCell(r Row, v ckpt.Variant) string {
+	if _, ok := r.Exec[v]; !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", r.Percent(v))
 }
 
 // WriteTable2 renders the Table 2 reproduction: execution times with 3
 // checkpoints.
 func WriteTable2(w io.Writer, rows []Row) {
 	t := trace.NewTable("Table 2: execution times (seconds), 3 checkpoints per run (overhead normalized to 3 completed checkpoints)",
-		"Application", "Normal", "Coord_NB", "Indep", "Coord_NBMS", "Indep_M").Align(1, 2, 3, 4, 5)
+		"Application", "Normal", "Coord_NB", "Indep", "CIC", "Coord_NBMS", "Indep_M", "CIC_M").Align(1, 2, 3, 4, 5, 6, 7)
 	for _, r := range rows {
 		t.Rowf(r.Workload,
-			r.Normal.Seconds(),
-			r.AdjustedExec(ckpt.CoordNB).Seconds(),
-			r.AdjustedExec(ckpt.Indep).Seconds(),
-			r.AdjustedExec(ckpt.CoordNBMS).Seconds(),
-			r.AdjustedExec(ckpt.IndepM).Seconds())
+			fmt.Sprintf("%.2f", r.Normal.Seconds()),
+			adjExecCell(r, ckpt.CoordNB),
+			adjExecCell(r, ckpt.Indep),
+			adjExecCell(r, ckpt.CIC),
+			adjExecCell(r, ckpt.CoordNBMS),
+			adjExecCell(r, ckpt.IndepM),
+			adjExecCell(r, ckpt.CICM))
 	}
 	t.Write(w)
 }
@@ -174,7 +222,7 @@ func WriteTable2(w io.Writer, rows []Row) {
 // highlights (a factor of 4 up to 17).
 func WriteTable3(w io.Writer, rows []Row) {
 	t := trace.NewTable("Table 3: performance overhead of the checkpointing schemes",
-		"Application", "Interval(s)", "Coord_NB %", "Indep %", "Coord_NBMS %", "Indep_M %", "NB/NBMS").Align(1, 2, 3, 4, 5, 6)
+		"Application", "Interval(s)", "Coord_NB %", "Indep %", "CIC %", "Coord_NBMS %", "Indep_M %", "CIC_M %", "NB/NBMS").Align(1, 2, 3, 4, 5, 6, 7, 8)
 	for _, r := range rows {
 		reduction := "-"
 		if nbms := r.Percent(ckpt.CoordNBMS); nbms > 0 {
@@ -182,10 +230,12 @@ func WriteTable3(w io.Writer, rows []Row) {
 		}
 		t.Rowf(r.Workload,
 			fmt.Sprintf("%.0f", r.Interval.Seconds()),
-			r.Percent(ckpt.CoordNB),
-			r.Percent(ckpt.Indep),
-			r.Percent(ckpt.CoordNBMS),
-			r.Percent(ckpt.IndepM),
+			percentCell(r, ckpt.CoordNB),
+			percentCell(r, ckpt.Indep),
+			percentCell(r, ckpt.CIC),
+			percentCell(r, ckpt.CoordNBMS),
+			percentCell(r, ckpt.IndepM),
+			percentCell(r, ckpt.CICM),
 			reduction)
 	}
 	t.Write(w)

@@ -66,8 +66,11 @@ func QuickWorkloads() []apps.Workload {
 	}
 }
 
-// Table1Schemes is the paper's Table 1 column order.
-var Table1Schemes = []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CoordNBM, ckpt.IndepM, ckpt.CoordNBMS}
+// Table1Schemes is the paper's Table 1 column order, extended with the
+// communication-induced family (not in the paper; same blocking/main-memory
+// split as the other columns).
+var Table1Schemes = []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC, ckpt.CoordNBM, ckpt.IndepM, ckpt.CICM, ckpt.CoordNBMS}
 
-// Table2Schemes is the paper's Table 2/3 column order.
-var Table2Schemes = []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CoordNBMS, ckpt.IndepM}
+// Table2Schemes is the paper's Table 2/3 column order, extended with the
+// communication-induced family.
+var Table2Schemes = []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC, ckpt.CoordNBMS, ckpt.IndepM, ckpt.CICM}

@@ -1,0 +1,358 @@
+// Package cic implements communication-induced checkpointing (CIC), the
+// third classic protocol family alongside the paper's coordinated and
+// independent schemes.
+//
+// The protocol is the index-based scheme of Briatico, Ciuffoletti &
+// Simoncini (BCS), the canonical member of the family surveyed by Garcia,
+// Vieira & Buzato ("A Rollback in the History of Communication-Induced
+// Checkpointing"): every node keeps a checkpoint index — a logical clock
+// incremented by each checkpoint — and piggybacks it on every outgoing
+// application message. Basic checkpoints fire on a per-node local timer,
+// exactly like independent checkpointing. But before delivering a message
+// whose piggybacked index exceeds the local one, the receiver takes a
+// *forced* checkpoint and jumps its index to the message's. The induced
+// rule keeps checkpoints with equal indices concurrent, so the set of
+// highest-indexed checkpoints always forms a consistent cut — no
+// coordination messages, no domino effect.
+//
+// A run ends with one termination checkpoint per node, taken at application
+// exit and written in the background: it costs no measured execution time
+// (the application has already finished) and guarantees that every send is
+// covered by a later checkpoint of its sender, so at end of run the recovery
+// line equals each node's latest checkpoint — zero rollback distance, no
+// garbage (asserted by the rdg guarantee test on the domino workload).
+//
+// Two variants mirror the paper's naming convention: CIC blocks the
+// application for the durable write of every checkpoint; CIC_M takes a
+// main-memory copy and writes it to stable storage in the background.
+package cic
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+	"repro/internal/codec"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+func init() {
+	ckpt.Register(ckpt.CIC, New)
+	ckpt.Register(ckpt.CICM, New)
+}
+
+// New constructs a communication-induced scheme for ckpt.CIC or ckpt.CICM.
+// Most callers reach it through ckpt.New after blank-importing this package.
+func New(v ckpt.Variant, opt ckpt.Options) ckpt.Scheme {
+	if !v.CommunicationInduced() {
+		panic(fmt.Sprintf("cic: New called with non-CIC variant %v", v))
+	}
+	return &scheme{v: v, opt: opt}
+}
+
+// scheme is the machine-wide CIC protocol instance.
+type scheme struct {
+	v     ckpt.Variant
+	opt   ckpt.Options
+	m     *par.Machine
+	nodes []*cicNode
+
+	stopped bool
+	stats   ckpt.Stats
+	records []ckpt.Record
+}
+
+func (s *scheme) Name() string          { return s.v.String() }
+func (s *scheme) Variant() ckpt.Variant { return s.v }
+func (s *scheme) Stats() ckpt.Stats     { return s.stats }
+func (s *scheme) Stop()                 { s.stopped = true }
+
+// Records returns committed checkpoints ordered by completion time (ties by
+// rank) — the order they became durable.
+func (s *scheme) Records() []ckpt.Record {
+	out := append([]ckpt.Record(nil), s.records...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Attach installs the per-node hooks, timers and daemons.
+func (s *scheme) Attach(m *par.Machine) {
+	s.m = m
+	s.nodes = make([]*cicNode, m.NumNodes())
+	for i := range m.Nodes {
+		cn := &cicNode{s: s, n: m.Nodes[i], deps: make(map[ckpt.Dep]struct{})}
+		cn.jobs = sim.NewMailbox[func(p *sim.Proc)](m.Eng)
+		s.nodes[i] = cn
+		n := m.Nodes[i]
+		n.OutMeta = cn.outMeta
+		n.PreConsume = cn.preConsume
+		n.OnConsume = cn.onConsume
+		m.StartDaemon(i, fmt.Sprintf("cicd%d", i), cn.daemonLoop)
+		m.Eng.After(s.opt.FirstAtOrInterval()+sim.Duration(i)*s.opt.Spread, cn.timerFire)
+	}
+	m.OnAppExit(s.onAppExit)
+	m.OnAllAppsDone(s.Stop)
+}
+
+// EnqueueJob schedules work on a node's checkpointer daemon (used by the
+// garbage collector in package rdg for stable-storage deletes).
+func (s *scheme) EnqueueJob(rank int, job func(p *sim.Proc)) {
+	s.nodes[rank].jobs.Put(job)
+}
+
+// CheckpointPath returns the stable-storage path of checkpoint index of
+// rank, for the rdg garbage collector.
+func (s *scheme) CheckpointPath(rank, index int) string { return cicPath(rank, index) }
+
+// onAppExit takes the termination checkpoint: it runs in the exiting
+// application process's context but consumes no virtual time — the state is
+// captured instantly and written in the background, after the measured
+// execution, so it is free. It is what upgrades BCS's "indices form
+// consistent cuts" into the end-of-run zero-rollback guarantee: every send
+// precedes its sender's termination checkpoint.
+func (s *scheme) onAppExit(nodeID int) {
+	cn := s.nodes[nodeID]
+	cn.index++
+	k := cn.index
+	deps, state, lib := cn.capture()
+	s.stats.FinalCkpts++
+	s.m.Obs.Add(nodeID, "cic.final_ckpts", 1)
+	cn.jobs.Put(cn.writeJob(k, kindFinal, deps, state, lib, nil))
+}
+
+// cicNode is one node's checkpointer.
+type cicNode struct {
+	s *scheme
+	n *par.Node
+
+	index int // BCS checkpoint index: the logical clock, piggybacked on sends
+	taken int // basic checkpoints taken, for the MaxCheckpoints cap
+	deps  map[ckpt.Dep]struct{}
+	busy  bool // a basic checkpoint is pending or being written
+
+	jobs *sim.Mailbox[func(p *sim.Proc)]
+}
+
+func (cn *cicNode) daemonLoop(p *sim.Proc) {
+	for {
+		job := cn.jobs.GetAny(p)
+		job(p)
+	}
+}
+
+func (cn *cicNode) outMeta() par.Piggyback {
+	var pb par.Piggyback
+	pb[par.PBCIC] = uint64(cn.index)
+	return pb
+}
+
+// onConsume records the receive edge for recovery-line analysis, exactly as
+// independent checkpointing does; it runs after preConsume, so the edge
+// lands in the interval the message is actually delivered in.
+func (cn *cicNode) onConsume(src int, meta par.Piggyback, ssn uint64) {
+	if src == cn.n.ID {
+		return
+	}
+	cn.deps[ckpt.Dep{SrcRank: src, SrcIndex: meta[par.PBCIC]}] = struct{}{}
+}
+
+// preConsume is the induced rule, running at the delivery safe point in the
+// application's context: a message from the sender's interval midx must not
+// be delivered into a local interval behind it, so the node first takes a
+// forced checkpoint and jumps its index to midx.
+func (cn *cicNode) preConsume(p *sim.Proc, src int, meta par.Piggyback) {
+	midx := int(meta[par.PBCIC])
+	if src == cn.n.ID || midx <= cn.index {
+		return
+	}
+	s := cn.s
+	start := p.Now()
+	cn.index = midx
+	deps, state, lib := cn.capture()
+	fsp := s.m.Obs.Start(cn.n.ID, obs.TidApp, "cic.forced").WithArg("index", int64(midx))
+	s.m.Obs.Add(cn.n.ID, "cic.forced_ckpts", 1)
+	s.stats.ForcedCkpts++
+	cn.saveBlocking(p, midx, kindForced, deps, state, lib)
+	fsp.End()
+	s.m.Obs.ObserveDur(cn.n.ID, "cic.forced_latency", p.Now().Sub(start))
+	s.m.Obs.ObserveDur(cn.n.ID, "ckpt.blocked_time", p.Now().Sub(start))
+	s.stats.AppBlocked += p.Now().Sub(start)
+}
+
+func (cn *cicNode) timerFire() {
+	s := cn.s
+	if s.stopped || cn.busy {
+		return
+	}
+	if s.opt.MaxCheckpoints > 0 && cn.taken >= s.opt.MaxCheckpoints {
+		return
+	}
+	if cn.n.AppProc == nil || cn.n.AppProc.Done() {
+		return
+	}
+	cn.busy = true
+	cn.n.PostAction(basicAction{cn: cn, atIndex: cn.index})
+}
+
+// basicAction is the timer checkpoint, run at the application's next safe
+// point. atIndex detects a forced checkpoint that slipped in between the
+// timer firing and the safe point: the forced checkpoint already did the
+// work, so the basic one is skipped — the classic CIC optimization that
+// makes every checkpoint useful.
+type basicAction struct {
+	cn      *cicNode
+	atIndex int
+}
+
+func (a basicAction) Run(p *sim.Proc, n *par.Node) {
+	cn := a.cn
+	s := cn.s
+	if s.stopped || cn.index != a.atIndex {
+		cn.busy = false
+		if !s.stopped && s.opt.Interval > 0 {
+			n.M.Eng.After(s.opt.Interval, cn.timerFire)
+		}
+		return
+	}
+	start := p.Now()
+	cn.index++
+	cn.taken++
+	k := cn.index
+	deps, state, lib := cn.capture()
+	bsp := s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.blocked").WithArg("index", int64(k))
+	s.m.Obs.Add(n.ID, "cic.basic_ckpts", 1)
+	cn.saveBlocking(p, k, kindBasic, deps, state, lib)
+	bsp.End()
+	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
+	s.stats.AppBlocked += p.Now().Sub(start)
+}
+
+// capture closes the current checkpoint interval: its receive edges are
+// detached (sorted for determinism), and the application and library states
+// are serialized. Runs in the application's context, like every state
+// capture in the library.
+func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte) {
+	deps = make([]ckpt.Dep, 0, len(cn.deps))
+	for d := range cn.deps {
+		deps = append(deps, d)
+	}
+	sort.Slice(deps, func(i, j int) bool {
+		if deps[i].SrcRank != deps[j].SrcRank {
+			return deps[i].SrcRank < deps[j].SrcRank
+		}
+		return deps[i].SrcIndex < deps[j].SrcIndex
+	})
+	cn.deps = make(map[ckpt.Dep]struct{})
+	state = ckpt.PadImage(cn.n.Snap.Snapshot(), cn.n.M.Cfg.CkptImageBytes)
+	if cn.n.Lib != nil {
+		lib = cn.n.Lib.Snapshot()
+	}
+	return deps, state, lib
+}
+
+// saveBlocking performs the variant-dependent blocking part of a checkpoint
+// in the application's context: CIC_M copies the state in memory and writes
+// in the background; CIC parks the application until the write is durable.
+func (cn *cicNode) saveBlocking(p *sim.Proc, k, kind int, deps []ckpt.Dep, state, lib []byte) {
+	s := cn.s
+	if s.v.MemBuffered() {
+		d := cn.n.M.MemCopyTime(len(state))
+		msp := s.m.Obs.Start(cn.n.ID, obs.TidApp, "ckpt.memcopy")
+		p.Sleep(d)
+		msp.End()
+		s.stats.MemCopyTime += d
+		cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, nil))
+		return
+	}
+	gate := sim.NewGate(cn.n.M.Eng)
+	cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, gate))
+	gate.Wait(p)
+}
+
+// Checkpoint kinds, for accounting in writeJob.
+const (
+	kindBasic = iota
+	kindForced
+	kindFinal
+)
+
+// writeJob writes checkpoint k durably on the daemon, records it, and opens
+// gate if the application is waiting (CIC). Basic checkpoints re-arm the
+// node's timer from write completion, inheriting independent checkpointing's
+// natural drift.
+func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gate *sim.Gate) func(p *sim.Proc) {
+	return func(p *sim.Proc) {
+		s := cn.s
+		data := encodeCkpt(k, deps, state, lib)
+		wsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("index", int64(k))
+		ckpt.WriteSegmented(p, cn.n, cicPath(cn.n.ID, k), data, false)
+		wsp.End()
+		s.m.Obs.Add(cn.n.ID, "ckpt.state_bytes", int64(len(state)))
+		s.m.Obs.InstantArg(cn.n.ID, obs.TidDaemon, "ckpt.commit", "index", int64(k))
+		s.stats.StateBytes += int64(len(state))
+		if kind != kindFinal {
+			// Termination checkpoints complete after the measured execution
+			// and must not inflate the completed-checkpoint normalization.
+			s.stats.Checkpoints++
+		}
+		s.records = append(s.records, ckpt.Record{
+			Rank: cn.n.ID, Index: k, At: p.Now(),
+			StateBytes: len(state), Deps: deps,
+		})
+		if gate != nil {
+			gate.Open()
+		}
+		if kind == kindBasic {
+			cn.busy = false
+			if s.opt.Interval > 0 {
+				cn.n.M.Eng.After(s.opt.Interval, cn.timerFire)
+			}
+		}
+	}
+}
+
+// cicPath is the stable-storage layout of CIC checkpoints, one file per
+// (node, index); indices can be sparse because forced checkpoints jump.
+func cicPath(rank, index int) string { return fmt.Sprintf("cic/n%03d/k%05d", rank, index) }
+
+// encodeCkpt packs a CIC checkpoint file: the index, the closed interval's
+// receive edges, the program state, and the message layer's state.
+func encodeCkpt(index int, deps []ckpt.Dep, state, lib []byte) []byte {
+	w := codec.NewWriter()
+	w.Int(index)
+	w.Int(len(deps))
+	for _, d := range deps {
+		w.Int(d.SrcRank)
+		w.U64(d.SrcIndex)
+	}
+	w.Bytes8(state)
+	w.Bytes8(lib)
+	return w.Bytes()
+}
+
+// decodeCkpt unpacks a CIC checkpoint file.
+func decodeCkpt(b []byte) (index int, deps []ckpt.Dep, state, lib []byte, err error) {
+	r := codec.NewReader(b)
+	index = r.Int()
+	n := r.Int()
+	if r.Err() != nil || n < 0 {
+		return 0, nil, nil, nil, fmt.Errorf("cic: corrupt checkpoint header")
+	}
+	deps = make([]ckpt.Dep, 0, n)
+	for i := 0; i < n; i++ {
+		deps = append(deps, ckpt.Dep{SrcRank: r.Int(), SrcIndex: r.U64()})
+	}
+	state = r.Bytes8()
+	lib = r.Bytes8()
+	if r.Err() != nil {
+		return 0, nil, nil, nil, fmt.Errorf("cic: corrupt checkpoint: %v", r.Err())
+	}
+	return index, deps, state, lib, nil
+}

@@ -419,6 +419,9 @@ func TestVariantStringAndPredicates(t *testing.T) {
 		{CoordNBMS, "Coord_NBMS", true, true},
 		{Indep, "Indep", false, false},
 		{IndepM, "Indep_M", false, true},
+		{IndepLog, "Indep_Log", false, false},
+		{CIC, "CIC", false, false},
+		{CICM, "CIC_M", false, true},
 	}
 	for _, c := range cases {
 		if c.v.String() != c.name {
@@ -428,18 +431,33 @@ func TestVariantStringAndPredicates(t *testing.T) {
 			t.Errorf("%v predicates wrong", c.v)
 		}
 	}
+	// String and ParseVariant are derived from one table; every name must
+	// round-trip, and VariantNames must enumerate all of them in order.
+	names := VariantNames()
+	if len(names) != len(cases) {
+		t.Fatalf("VariantNames() = %v, want %d entries", names, len(cases))
+	}
+	for i, name := range names {
+		v, ok := ParseVariant(name)
+		if !ok || v != Variant(i) {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", name, v, ok, Variant(i))
+		}
+	}
+	if _, ok := ParseVariant("NoSuchScheme"); ok {
+		t.Error("ParseVariant accepted an unknown name")
+	}
 }
 
 func TestChanLogCodecRoundTrip(t *testing.T) {
 	msgs := []*mp.Message{
-		{Src: 1, Tag: 5, Meta: 9, Data: []byte("abc")},
-		{Src: 2, Tag: 0, Meta: 0, Data: nil},
+		{Src: 1, Tag: 5, Meta: par.Piggyback{9, 2}, Data: []byte("abc")},
+		{Src: 2, Tag: 0, Data: nil},
 	}
 	got, err := decodeChanLog(encodeChanLog(msgs))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 || got[0].Src != 1 || got[0].Tag != 5 || got[0].Meta != 9 ||
+	if len(got) != 2 || got[0].Src != 1 || got[0].Tag != 5 || got[0].Meta != (par.Piggyback{9, 2}) ||
 		string(got[0].Data) != "abc" || got[1].Src != 2 {
 		t.Fatalf("round trip: %+v", got)
 	}

@@ -14,7 +14,9 @@ func encodeChanLog(msgs []*mp.Message) []byte {
 	for _, m := range msgs {
 		w.Int(m.Src)
 		w.Int(m.Tag)
-		w.U64(m.Meta)
+		for _, v := range m.Meta {
+			w.U64(v)
+		}
 		w.Bytes8(m.Data)
 	}
 	return w.Bytes()
@@ -29,7 +31,11 @@ func decodeChanLog(b []byte) ([]*mp.Message, error) {
 	}
 	msgs := make([]*mp.Message, 0, n)
 	for i := 0; i < n; i++ {
-		m := &mp.Message{Src: r.Int(), Tag: r.Int(), Meta: r.U64(), Data: r.Bytes8()}
+		m := &mp.Message{Src: r.Int(), Tag: r.Int()}
+		for k := range m.Meta {
+			m.Meta[k] = r.U64()
+		}
+		m.Data = r.Bytes8()
 		msgs = append(msgs, m)
 	}
 	if r.Err() != nil {

@@ -123,13 +123,17 @@ func (in *indepNode) daemonLoop(p *sim.Proc) {
 	}
 }
 
-func (in *indepNode) outMeta() uint64 { return uint64(in.index) }
+func (in *indepNode) outMeta() par.Piggyback {
+	var pb par.Piggyback
+	pb[par.PBInterval] = uint64(in.index)
+	return pb
+}
 
-func (in *indepNode) onConsume(src int, meta, ssn uint64) {
+func (in *indepNode) onConsume(src int, meta par.Piggyback, ssn uint64) {
 	if src == in.n.ID {
 		return
 	}
-	in.deps[Dep{SrcRank: src, SrcIndex: meta}] = struct{}{}
+	in.deps[Dep{SrcRank: src, SrcIndex: meta[par.PBInterval]}] = struct{}{}
 }
 
 // logSend records an outgoing application message in the volatile log.

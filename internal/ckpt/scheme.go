@@ -49,27 +49,68 @@ const (
 	// recover from its own last checkpoint alone — survivors re-transmit
 	// from their logs and nobody else rolls back.
 	IndepLog
+	// CIC and CICM are communication-induced checkpointing (implemented by
+	// package cic, registered via Register): basic checkpoints fire on a
+	// local timer like Indep, but every message piggybacks the sender's
+	// checkpoint index and the receiver takes a *forced* checkpoint before
+	// delivering a message whose index is ahead of its own (the index-based
+	// BCS protocol of Briatico, Ciuffoletti & Simoncini, surveyed by Garcia,
+	// Vieira & Buzato). CIC blocks the application for the durable write;
+	// CICM takes a main-memory copy and saves in the background.
+	CIC
+	CICM
 )
+
+// variantNames is the single source of truth mapping variants to the paper's
+// scheme names; String and ParseVariant are both derived from it so the two
+// directions cannot drift apart when a variant is added.
+var variantNames = map[Variant]string{
+	CoordB:    "Coord_B",
+	CoordNB:   "Coord_NB",
+	CoordNBM:  "Coord_NBM",
+	CoordNBMS: "Coord_NBMS",
+	Indep:     "Indep",
+	IndepM:    "Indep_M",
+	IndepLog:  "Indep_Log",
+	CIC:       "CIC",
+	CICM:      "CIC_M",
+}
+
+// variantByName is the inverse of variantNames, built once at init.
+var variantByName = func() map[string]Variant {
+	m := make(map[string]Variant, len(variantNames))
+	for v, name := range variantNames {
+		m[name] = v
+	}
+	return m
+}()
 
 // String returns the paper's name for the variant.
 func (v Variant) String() string {
-	switch v {
-	case CoordB:
-		return "Coord_B"
-	case CoordNB:
-		return "Coord_NB"
-	case CoordNBM:
-		return "Coord_NBM"
-	case CoordNBMS:
-		return "Coord_NBMS"
-	case Indep:
-		return "Indep"
-	case IndepM:
-		return "Indep_M"
-	case IndepLog:
-		return "Indep_Log"
+	if name, ok := variantNames[v]; ok {
+		return name
 	}
 	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// ParseVariant maps a scheme name back to its Variant. It accepts the exact
+// names String produces ("Coord_NBMS", "Indep_M", "CIC", ...).
+func ParseVariant(name string) (Variant, bool) {
+	v, ok := variantByName[name]
+	return v, ok
+}
+
+// VariantNames lists every scheme name String can produce, in variant order
+// (for CLI discovery output).
+func VariantNames() []string {
+	out := make([]string, 0, len(variantNames))
+	for v := CoordB; ; v++ {
+		name, ok := variantNames[v]
+		if !ok {
+			return out
+		}
+		out = append(out, name)
+	}
 }
 
 // Coordinated reports whether the variant is a coordinated scheme.
@@ -77,8 +118,11 @@ func (v Variant) Coordinated() bool { return v <= CoordNBMS }
 
 // MemBuffered reports whether the variant uses main-memory checkpointing.
 func (v Variant) MemBuffered() bool {
-	return v == CoordNBM || v == CoordNBMS || v == IndepM
+	return v == CoordNBM || v == CoordNBMS || v == IndepM || v == CICM
 }
+
+// CommunicationInduced reports whether the variant belongs to the CIC family.
+func (v Variant) CommunicationInduced() bool { return v == CIC || v == CICM }
 
 // Options configure a scheme instance.
 type Options struct {
@@ -115,6 +159,11 @@ func (o Options) firstAt() sim.Duration {
 	return o.Interval
 }
 
+// FirstAtOrInterval returns the effective time of the first checkpoint —
+// FirstAt if set, else Interval — for protocol families implemented outside
+// this package.
+func (o Options) FirstAtOrInterval() sim.Duration { return o.firstAt() }
+
 // Dep records that during the checkpoint interval being closed, this node
 // consumed a message sent by SrcRank during its interval SrcIndex.
 type Dep struct {
@@ -144,6 +193,14 @@ type Stats struct {
 	MemCopyTime  sim.Duration   // portion of AppBlocked spent in memory copies
 	RoundLatency []sim.Duration // coordinated: initiation -> commit per round
 	LogBytesPeak int64          // IndepLog: peak volatile sender-log occupancy
+
+	// CIC family only. ForcedCkpts counts checkpoints induced by message
+	// delivery (a subset of Checkpoints; the rest are basic timer
+	// checkpoints). FinalCkpts counts termination checkpoints taken at
+	// application exit — they complete after the measured execution time and
+	// are excluded from Checkpoints so overhead normalization is not skewed.
+	ForcedCkpts int
+	FinalCkpts  int
 }
 
 // Scheme is a checkpointing protocol attached to a machine.
@@ -163,12 +220,36 @@ type Scheme interface {
 	Records() []Record
 }
 
+// Constructor builds a Scheme for a variant; external protocol families
+// (package cic) register theirs via Register.
+type Constructor func(v Variant, opt Options) Scheme
+
+// registry holds constructors for variants implemented outside this package.
+var registry = map[Variant]Constructor{}
+
+// Register installs a constructor for a variant implemented in another
+// package (the image/png pattern: the implementing package registers itself
+// from init, and users import it for its side effect). Registering a variant
+// twice panics — it would silently shadow a protocol implementation.
+func Register(v Variant, ctor Constructor) {
+	if _, dup := registry[v]; dup {
+		panic(fmt.Sprintf("ckpt: Register called twice for %v", v))
+	}
+	registry[v] = ctor
+}
+
 // New constructs a scheme for the variant.
 func New(v Variant, opt Options) Scheme {
-	if v.Coordinated() {
-		return newCoordinated(v, opt)
+	if ctor, ok := registry[v]; ok {
+		return ctor(v, opt)
 	}
-	return newIndependent(v, opt)
+	switch {
+	case v.Coordinated():
+		return newCoordinated(v, opt)
+	case v == Indep || v == IndepM || v == IndepLog:
+		return newIndependent(v, opt)
+	}
+	panic(fmt.Sprintf("ckpt: no scheme registered for %v (missing blank import of its implementing package, e.g. repro/internal/cic?)", v))
 }
 
 // Wire sizes of protocol control messages (bytes, excluding the fabric's
@@ -262,3 +343,14 @@ func writeSegmented(p *sim.Proc, n *par.Node, path string, data []byte, reset bo
 // checkpoint so external services (the garbage collector in package rdg)
 // can reclaim files.
 func IndepCheckpointPath(rank, index int) string { return indepPath(rank, index) }
+
+// WriteSegmented exposes the segmented durable-write pipeline to protocol
+// families implemented outside this package (package cic): data is streamed
+// to stable storage as pipelined append segments, the last one synchronous.
+func WriteSegmented(p *sim.Proc, n *par.Node, path string, data []byte, reset bool) {
+	writeSegmented(p, n, path, data, reset)
+}
+
+// PadImage exposes the process-image padding applied to every checkpointed
+// application state, for protocol families implemented outside this package.
+func PadImage(state []byte, imageBytes int) []byte { return padImage(state, imageBytes) }

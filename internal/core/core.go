@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
+	_ "repro/internal/cic" // registers the CIC and CIC_M variants with ckpt.New
 	"repro/internal/ckpt"
 	"repro/internal/mp"
 	"repro/internal/obs"

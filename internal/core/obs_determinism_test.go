@@ -17,7 +17,7 @@ import (
 // it never sleeps, parks or schedules events — so the virtual-time results of
 // an instrumented run are identical to an uninstrumented one.
 func TestObserverDoesNotPerturbRun(t *testing.T) {
-	for _, v := range []ckpt.Variant{ckpt.CoordNBMS, ckpt.Indep} {
+	for _, v := range []ckpt.Variant{ckpt.CoordNBMS, ckpt.Indep, ckpt.CIC, ckpt.CICM} {
 		t.Run(v.String(), func(t *testing.T) {
 			cfg := Default().WithScheme(v, 500*sim.Millisecond, 2)
 			wl := apps.SORWorkload(apps.DefaultSOR(64, 30))

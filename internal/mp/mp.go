@@ -37,9 +37,10 @@ const (
 type Message struct {
 	Src, Tag int
 	Data     []byte
-	// Meta carries the sender's checkpoint-interval index, piggybacked by
-	// independent checkpointing for dependency tracking.
-	Meta uint64
+	// Meta carries the sender's piggyback vector: the checkpoint-interval
+	// index of independent checkpointing and the checkpoint index of
+	// communication-induced checkpointing, each in its own slot.
+	Meta par.Piggyback
 	// SSN is the per-(sender,receiver) send sequence number, assigned when
 	// sender-based message logging is active (zero otherwise). Receivers use
 	// it to suppress the duplicates a recovering sender re-transmits.
@@ -271,7 +272,7 @@ func (e *Env) Send(dst, tag int, data []byte) {
 // already polled. It still blocks for flow-control credit.
 func (e *Env) send(dst, tag int, data []byte) {
 	e.acquireCredit(e.Rank, dst)
-	var meta uint64
+	var meta par.Piggyback
 	if e.node.OutMeta != nil {
 		meta = e.node.OutMeta()
 	}
@@ -338,6 +339,12 @@ func (e *Env) Recv(src, tag int) *Message {
 			}
 			e.W.returnCredit(m.Src, e.Rank)
 			e.node.M.Obs.Add(e.Rank, "mp.msgs_delivered", 1)
+			if e.node.PreConsume != nil {
+				// The delivery safe point: communication-induced checkpointing
+				// may take a forced checkpoint here, blocking the application,
+				// before the message reaches it.
+				e.node.PreConsume(e.P, m.Src, m.Meta)
+			}
 			if e.node.OnConsume != nil {
 				e.node.OnConsume(m.Src, m.Meta, m.SSN)
 			}

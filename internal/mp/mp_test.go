@@ -254,19 +254,30 @@ func TestSafePointDuringLongCompute(t *testing.T) {
 func TestPiggybackMetaAndConsumeHook(t *testing.T) {
 	m := par.NewMachine(par.DefaultConfig())
 	w := NewWorld(m)
-	m.Nodes[0].OutMeta = func() uint64 { return 7 }
+	m.Nodes[0].OutMeta = func() par.Piggyback {
+		var pb par.Piggyback
+		pb[par.PBInterval] = 7
+		pb[par.PBCIC] = 3
+		return pb
+	}
 	var consumed []uint64
-	m.Nodes[1].OnConsume = func(src int, meta, ssn uint64) {
+	var preConsumed []uint64
+	m.Nodes[1].PreConsume = func(p *sim.Proc, src int, meta par.Piggyback) {
 		if src == 0 {
-			consumed = append(consumed, meta)
+			preConsumed = append(preConsumed, meta[par.PBCIC])
+		}
+	}
+	m.Nodes[1].OnConsume = func(src int, meta par.Piggyback, ssn uint64) {
+		if src == 0 {
+			consumed = append(consumed, meta[par.PBInterval])
 		}
 	}
 	w.Launch(0, &testProg{run: func(e *Env) {
 		e.Send(1, 0, nil)
 	}})
 	w.Launch(1, &testProg{run: func(e *Env) {
-		if got := e.Recv(0, 0).Meta; got != 7 {
-			t.Errorf("meta = %d", got)
+		if got := e.Recv(0, 0).Meta; got[par.PBInterval] != 7 || got[par.PBCIC] != 3 {
+			t.Errorf("meta = %v", got)
 		}
 	}})
 	if err := m.Run(); err != nil {
@@ -274,6 +285,9 @@ func TestPiggybackMetaAndConsumeHook(t *testing.T) {
 	}
 	if len(consumed) != 1 || consumed[0] != 7 {
 		t.Fatalf("consumed = %v", consumed)
+	}
+	if len(preConsumed) != 1 || preConsumed[0] != 3 {
+		t.Fatalf("preConsumed = %v (PreConsume must run before delivery)", preConsumed)
 	}
 }
 

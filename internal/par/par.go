@@ -80,6 +80,30 @@ func DefaultConfig() Config {
 	}
 }
 
+// PiggybackKey names one logical-clock channel piggybacked on every
+// application message. Each checkpointing family that needs dependency
+// metadata on the wire owns a key, so several protocols' clocks can coexist
+// (and be compared in the same codebase) without colliding.
+type PiggybackKey int
+
+const (
+	// PBInterval is the independent family's checkpoint-interval index
+	// (dependency tracking for recovery-line analysis, package rdg).
+	PBInterval PiggybackKey = iota
+	// PBCIC is the communication-induced family's checkpoint index — the
+	// BCS-style logical clock that forces checkpoints before delivery
+	// (package cic).
+	PBCIC
+
+	// NumPiggyback is the number of piggyback channels.
+	NumPiggyback
+)
+
+// Piggyback is the typed piggyback vector carried by every application
+// message. It is a small fixed array rather than a map so that copying a
+// message costs nothing extra and the zero value means "no metadata".
+type Piggyback [NumPiggyback]uint64
+
 // Snapshotter is implemented by application programs so the checkpointing
 // layer can capture and restore their state.
 type Snapshotter interface {
@@ -268,14 +292,22 @@ type Node struct {
 	// context and must not block.
 	DeliverHook func(env *fabric.Envelope) bool
 
-	// OutMeta, when set, supplies the checkpoint-interval index piggybacked
-	// on outgoing application messages (independent checkpointing).
-	OutMeta func() uint64
+	// OutMeta, when set, supplies the piggyback vector attached to outgoing
+	// application messages (checkpoint indices of the independent and
+	// communication-induced families).
+	OutMeta func() Piggyback
+
+	// PreConsume, when set, runs in the application process's context just
+	// before a matched message is handed to the application — the delivery
+	// safe point. Communication-induced checkpointing uses it to take a
+	// forced checkpoint before delivering a message whose piggybacked index
+	// is ahead of the local one. It may block the calling process.
+	PreConsume func(p *sim.Proc, srcNode int, meta Piggyback)
 
 	// OnConsume, when set, is called when the application consumes a
 	// message (dependency tracking for independent checkpointing; the ssn is
 	// zero unless message logging is active).
-	OnConsume func(srcNode int, meta, ssn uint64)
+	OnConsume func(srcNode int, meta Piggyback, ssn uint64)
 
 	reqSeq  int
 	cpuDebt sim.Duration
@@ -299,6 +331,7 @@ func (n *Node) reset() {
 	n.DaemonBox = sim.NewMailbox[*fabric.Envelope](n.M.Eng)
 	n.DeliverHook = nil
 	n.OutMeta = nil
+	n.PreConsume = nil
 	n.OnConsume = nil
 	n.LogSend = nil
 	n.Snap = nil

@@ -13,6 +13,21 @@ type jobEnqueuer interface {
 	EnqueueJob(rank int, job func(p *sim.Proc))
 }
 
+// CheckpointPather lets a scheme name the stable-storage file of each of its
+// checkpoints; schemes that don't implement it get the independent family's
+// default layout.
+type CheckpointPather interface {
+	CheckpointPath(rank, index int) string
+}
+
+// checkpointPath resolves a checkpoint's stable-storage path for deletion.
+func checkpointPath(sch ckpt.Scheme, rank, index int) string {
+	if cp, ok := sch.(CheckpointPather); ok {
+		return cp.CheckpointPath(rank, index)
+	}
+	return ckpt.IndepCheckpointPath(rank, index)
+}
+
 // GarbageCollector periodically reclaims obsolete independent checkpoints:
 // it computes the current recovery line from the dependency metadata and
 // deletes every checkpoint that can never appear on any future line
@@ -72,7 +87,7 @@ func (gc *GarbageCollector) scan() {
 		gc.sch.(jobEnqueuer).EnqueueJob(id.Rank, func(p *sim.Proc) {
 			sp := gc.m.Obs.Start(id.Rank, obs.TidDaemon, "rdg.gc_delete").WithArg("index", int64(id.Index))
 			gc.m.Nodes[id.Rank].StorageCall(p, storage.Request{
-				Op: storage.OpDelete, Path: ckpt.IndepCheckpointPath(id.Rank, id.Index),
+				Op: storage.OpDelete, Path: checkpointPath(gc.sch, id.Rank, id.Index),
 			})
 			sp.End()
 			gc.Reclaims++

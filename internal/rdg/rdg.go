@@ -113,6 +113,34 @@ func (g *Graph) RecoveryLine() []int {
 	return line
 }
 
+// Consistent reports whether a recovery line creates no orphan message: for
+// every persisted receive included in the line, the matching send must be
+// included too. RecoveryLine always returns a consistent line; the predicate
+// exists to assert protocol guarantees about *specific* lines — notably that
+// communication-induced checkpointing keeps the latest-checkpoint line
+// consistent, which independent checkpointing does not.
+func (g *Graph) Consistent(line []int) bool {
+	for _, e := range g.edges {
+		if line[e.Receiver] >= e.RecvCkpt && line[e.Sender] <= e.SentInterval {
+			return false
+		}
+	}
+	return true
+}
+
+// ZeroRollback reports whether the maximal consistent recovery line is the
+// set of latest checkpoints — a failure "now" loses no checkpointed work on
+// any rank. This is the guarantee the CIC family provides at end of run and
+// the domino effect destroys for independent checkpointing.
+func (g *Graph) ZeroRollback() bool {
+	for p, l := range g.RecoveryLine() {
+		if l != g.latest[p] {
+			return false
+		}
+	}
+	return true
+}
+
 // Domino reports whether the line exhibits the domino effect: a process
 // forced all the way back to its initial state despite having taken
 // checkpoints.
