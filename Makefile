@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci
+.PHONY: build test race fuzz vet ci
 
 build:
 	$(GO) build ./...
@@ -8,18 +8,27 @@ build:
 test:
 	$(GO) test ./...
 
-# The engine's one-runner-at-a-time handoff is the part of the codebase that
-# actually exercises goroutine synchronization; run it and its heaviest users
-# under the race detector.
+# Full suite under the race detector: the engine's one-runner-at-a-time
+# handoff, the parallel benchmark runner's worker pool, and the shared
+# observer registry are all exercised concurrently by the bench tests.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/par/... ./internal/obs/... ./internal/core/...
+	$(GO) test -race ./...
+
+# Short fuzz smoke of the two parsers that consume untrusted bytes: the
+# checkpoint codec round-trip and the scheme-name resolver. The Go fuzzer
+# allows one target per invocation, hence two runs.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/bench -run '^$$' -fuzz FuzzVariantParse -fuzztime $(FUZZTIME)
 
 vet:
 	$(GO) vet ./...
 
 # What the GitHub workflow runs (.github/workflows/ci.yml): the full suite
-# under the race detector, plus build and vet.
+# under the race detector, plus build, vet, and the fuzz smoke.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz

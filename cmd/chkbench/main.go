@@ -15,6 +15,16 @@
 //	chkbench -exp interval   # E9: overhead vs checkpoint interval
 //	chkbench -exp scaling    # E10: overhead vs machine size
 //
+// Concurrency: the (workload, scheme) matrix fans out over a worker pool.
+// Results are byte-identical at every parallelism level — each cell's
+// simulation is isolated and its seed derives from its coordinates, not from
+// scheduling. Ctrl-C cancels the run after the in-flight cells finish.
+//
+//	chkbench -parallel 8     # worker goroutines (default GOMAXPROCS)
+//	chkbench -parallel 1     # serial execution (same output, slower)
+//	chkbench -celltime       # per-cell wall-clock table on stderr, and a
+//	                         # timing section in the -json report
+//
 // Observability:
 //
 //	chkbench -table all -json out.json       # tables as machine-readable JSON
@@ -24,20 +34,26 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/ckpt"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
 func main() {
 	table := flag.String("table", "", "table to regenerate: 1, 2, 3 or all")
-	exp := flag.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling")
+	exp := flag.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling, domino")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	verbose := flag.Bool("v", false, "log every run")
+	parallel := flag.Int("parallel", 0, "worker goroutines for the benchmark matrix (0 = GOMAXPROCS)")
+	celltime := flag.Bool("celltime", false, "report per-cell wall-clock timings (stderr table + JSON timing section)")
 	jsonOut := flag.String("json", "", "write the measured table rows as machine-readable JSON to this file")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of one checkpointed run (-app/-scheme/-ckpts) to this file")
 	metrics := flag.Bool("metrics", false, "print the overhead breakdown (and, for a single -scheme, the metric summary) of -app")
@@ -66,8 +82,17 @@ func main() {
 	}
 	var prog bench.Progress
 	if *verbose {
-		prog = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+		// Line-atomic writes keep concurrently running cells' logs readable.
+		prog = bench.NewLineProgress(os.Stderr)
 	}
+	r := bench.NewRunner(*parallel, prog)
+	if *celltime {
+		r.Obs = obs.New() // aggregate per-cell metrics (bench.cell_wall_seconds etc.)
+	}
+	// Ctrl-C stops dispatching new cells; in-flight simulations finish first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := time.Now()
 	cfg := par.DefaultConfig()
 	out := os.Stdout
 
@@ -82,7 +107,7 @@ func main() {
 		if *quick {
 			wls = bench.QuickWorkloads()
 		}
-		rows, err := bench.MeasureRows(cfg, wls, bench.Table1Schemes, 3, prog)
+		rows, err := r.MeasureRows(ctx, cfg, wls, bench.Table1Schemes, 3)
 		if err != nil {
 			fail(err)
 		}
@@ -95,7 +120,7 @@ func main() {
 		if *quick {
 			wls = bench.QuickWorkloads()
 		}
-		rows, err := bench.MeasureRows(cfg, wls, bench.Table2Schemes, 3, prog)
+		rows, err := r.MeasureRows(ctx, cfg, wls, bench.Table2Schemes, 3)
 		if err != nil {
 			fail(err)
 		}
@@ -109,26 +134,8 @@ func main() {
 		}
 		jsonRows = append(jsonRows, bench.Report(cfg, rows, bench.Table2Schemes).Rows...)
 	}
-	if *jsonOut != "" {
-		rep := bench.JSONReport{
-			Paper: "The Performance of Coordinated and Independent Checkpointing (Silva & Silva, IPPS 1999)",
-			Nodes: cfg.Fabric.Nodes(),
-			Rows:  jsonRows,
-		}
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fail(err)
-		}
-		if err := bench.WriteJSON(f, rep); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "chkbench: wrote JSON report (%d rows) to %s\n", len(jsonRows), *jsonOut)
-	}
 	if *exp != "" {
-		if err := bench.RunExperiment(out, *exp, cfg, *quick, prog); err != nil {
+		if err := bench.RunExperiment(out, *exp, cfg, *quick, r); err != nil {
 			fail(err)
 		}
 	}
@@ -150,7 +157,7 @@ func main() {
 		default:
 			schemes = bench.Table2Schemes
 		}
-		normal, bds, err := bench.MeasureBreakdown(cfg, wl, schemes, *ckpts, prog)
+		normal, bds, err := r.MeasureBreakdown(ctx, cfg, wl, schemes, *ckpts)
 		if err != nil {
 			fail(err)
 		}
@@ -176,5 +183,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "chkbench: wrote Chrome trace of %s under %s to %s (open in Perfetto or chrome://tracing)\n",
 				wl.Name, bds[0].Scheme, *traceOut)
 		}
+	}
+	elapsed := time.Since(start)
+	if *jsonOut != "" {
+		rep := bench.JSONReport{
+			Paper: "The Performance of Coordinated and Independent Checkpointing (Silva & Silva, IPPS 1999)",
+			Nodes: cfg.Fabric.Nodes(),
+			Rows:  jsonRows,
+		}
+		if *celltime {
+			rep.Timing = bench.TimingReport(r, elapsed)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.WriteJSON(f, rep); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "chkbench: wrote JSON report (%d rows) to %s\n", len(jsonRows), *jsonOut)
+	}
+	if *celltime {
+		bench.WriteCellTimes(os.Stderr, r.Timings())
+		fmt.Fprintf(os.Stderr, "elapsed %.3fs, serial cell cost %.3fs (speedup %.2fx at -parallel %d)\n",
+			elapsed.Seconds(), r.TotalWall().Seconds(),
+			r.TotalWall().Seconds()/elapsed.Seconds(), r.EffectiveParallel())
 	}
 }

@@ -25,12 +25,13 @@ func main() {
 	interval := flag.Duration("interval", 3*time.Second, "checkpoint interval (virtual)")
 	crashAt := flag.Duration("crash", 15*time.Second, "failure time (virtual)")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
+	parallel := flag.Int("parallel", 0, "worker goroutines for -exp domino's (interval, scheme) cells (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "log every run")
 	flag.Parse()
 
 	var prog bench.Progress
 	if *verbose {
-		prog = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+		prog = bench.NewLineProgress(os.Stderr)
 	}
 	cfg := par.DefaultConfig()
 	var err error
@@ -44,7 +45,7 @@ func main() {
 				500*sim.Millisecond)
 		}
 	case "domino":
-		err = bench.DominoExperiment(os.Stdout, cfg, *quick, prog)
+		err = bench.DominoExperiment(os.Stdout, cfg, *quick, bench.NewRunner(*parallel, prog))
 	case "logging":
 		err = bench.LoggingRecoveryDemo(os.Stdout, cfg, 3,
 			sim.Duration(*crashAt/time.Nanosecond), 300*sim.Millisecond)

@@ -25,10 +25,20 @@ type Factory func(rank, size int) mp.Program
 
 // Workload is a named, parameterized application instance: what one row of
 // the paper's tables runs.
+//
+// Make and Check may be called concurrently for independent runs of the same
+// workload (the bench matrix runner fans one workload's scheme columns out
+// over goroutines), so both must be safe for concurrent use.
 type Workload struct {
 	Name  string
 	Make  Factory
 	Check func(progs []mp.Program) error
+
+	// Reseed, when non-nil, returns a copy of the workload re-parameterized
+	// with the given RNG seed (benchmark repetitions derive one seed per
+	// matrix cell). Workloads whose computation is seed-free leave it nil:
+	// every repetition then runs the identical simulation.
+	Reseed func(seed uint64) Workload
 }
 
 // blockRange splits n items into size contiguous blocks and returns rank's

@@ -2,6 +2,7 @@ package apps
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/mp"
@@ -67,14 +68,17 @@ func NewASP(rank, size int, cfg ASPConfig) *ASP {
 // ASPWorkload adapts the benchmark to the harness registry. The sequential
 // reference is computed once and cached across the table's scheme runs.
 func ASPWorkload(cfg ASPConfig) Workload {
-	var cached [][]int64
+	var (
+		once   sync.Once
+		cached [][]int64
+	)
 	return Workload{
 		Name: fmt.Sprintf("ASP-%d", cfg.N),
 		Make: func(rank, size int) mp.Program { return NewASP(rank, size, cfg) },
 		Check: func(progs []mp.Program) error {
-			if cached == nil {
-				cached = SequentialASP(cfg)
-			}
+			// Checks of independent runs may execute concurrently; fill the
+			// sequential-reference cache under a sync.Once.
+			once.Do(func() { cached = SequentialASP(cfg) })
 			ref := cached
 			for _, p := range progs {
 				a := p.(*ASP)

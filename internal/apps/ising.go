@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/mp"
@@ -99,14 +100,17 @@ func initialSpinRow(cfg IsingConfig, gi int) []int8 {
 // IsingWorkload adapts the benchmark to the harness registry. The sequential
 // reference is computed once and cached across the table's scheme runs.
 func IsingWorkload(cfg IsingConfig) Workload {
-	var cached [][]int8
+	var (
+		once   sync.Once
+		cached [][]int8
+	)
 	return Workload{
 		Name: fmt.Sprintf("ISING-%d", cfg.L),
 		Make: func(rank, size int) mp.Program { return NewIsing(rank, size, cfg) },
 		Check: func(progs []mp.Program) error {
-			if cached == nil {
-				cached = SequentialIsing(cfg)
-			}
+			// Checks of independent runs may execute concurrently; fill the
+			// sequential-reference cache under a sync.Once.
+			once.Do(func() { cached = SequentialIsing(cfg) })
 			ref := cached
 			for _, p := range progs {
 				g := p.(*Ising)

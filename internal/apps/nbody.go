@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/mp"
@@ -66,15 +67,18 @@ func NewNBody(rank, size int, cfg NBodyConfig) *NBody {
 // NBodyWorkload adapts the benchmark to the harness registry. The sequential
 // reference is computed once and cached across the table's scheme runs.
 func NBodyWorkload(cfg NBodyConfig) Workload {
-	var cached []Body
+	var (
+		once   sync.Once
+		cached []Body
+	)
 	return Workload{
 		Name: fmt.Sprintf("NBODY-%d", cfg.N),
 		Make: func(rank, size int) mp.Program { return NewNBody(rank, size, cfg) },
 		Check: func(progs []mp.Program) error {
 			size := len(progs)
-			if cached == nil {
-				cached = SequentialNBody(cfg, size)
-			}
+			// Checks of independent runs may execute concurrently; fill the
+			// sequential-reference cache under a sync.Once.
+			once.Do(func() { cached = SequentialNBody(cfg, size) })
 			ref := cached
 			for _, p := range progs {
 				b := p.(*NBody)

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/mp"
@@ -60,14 +61,17 @@ func initialSORRow(cfg SORConfig, gi int) []float64 {
 // SORWorkload adapts the benchmark to the harness registry. The sequential
 // reference is computed once and cached across the table's scheme runs.
 func SORWorkload(cfg SORConfig) Workload {
-	var cachedRef [][]float64
+	var (
+		once      sync.Once
+		cachedRef [][]float64
+	)
 	return Workload{
 		Name: fmt.Sprintf("SOR-%d", cfg.N),
 		Make: func(rank, size int) mp.Program { return NewSOR(rank, size, cfg) },
 		Check: func(progs []mp.Program) error {
-			if cachedRef == nil {
-				cachedRef = SequentialSOR(cfg)
-			}
+			// Checks of independent runs may execute concurrently; fill the
+			// sequential-reference cache under a sync.Once.
+			once.Do(func() { cachedRef = SequentialSOR(cfg) })
 			ref := cachedRef
 			for _, p := range progs {
 				s := p.(*SOR)

@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/mp"
@@ -97,16 +98,19 @@ func NewTSP(rank, size int, cfg TSPConfig) *TSP {
 }
 
 // TSPWorkload adapts the benchmark to the harness registry. The exact
-// optimum is computed once and cached across the table's scheme runs.
+// optimum is computed once and cached across the table's scheme runs; the
+// cache is filled under a sync.Once because those runs' Checks may execute
+// concurrently.
 func TSPWorkload(cfg TSPConfig) Workload {
-	want := int64(-1)
+	var (
+		once sync.Once
+		want int64
+	)
 	return Workload{
 		Name: fmt.Sprintf("TSP-%d", cfg.Cities),
 		Make: func(rank, size int) mp.Program { return NewTSP(rank, size, cfg) },
 		Check: func(progs []mp.Program) error {
-			if want < 0 {
-				want = HeldKarp(cfg)
-			}
+			once.Do(func() { want = HeldKarp(cfg) })
 			master := progs[0].(*TSP)
 			if master.Best != want {
 				return fmt.Errorf("tsp: optimum %d, reference %d", master.Best, want)
@@ -115,6 +119,11 @@ func TSPWorkload(cfg TSPConfig) Workload {
 				return fmt.Errorf("tsp: best tour has length %d, claimed %d", got, want)
 			}
 			return nil
+		},
+		Reseed: func(seed uint64) Workload {
+			c := cfg
+			c.Seed = seed
+			return TSPWorkload(c)
 		},
 	}
 }

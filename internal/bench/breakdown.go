@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,16 +39,29 @@ type Breakdown struct {
 // MeasureBreakdown runs wl normally and then under each scheme with `ckpts`
 // checkpoints at interval normal/(ckpts+1), collecting the phase breakdown of
 // every checkpointed run through a fresh Observer. It returns the normal
-// execution time and one Breakdown per scheme.
+// execution time and one Breakdown per scheme, at default parallelism.
 func MeasureBreakdown(cfg par.Config, wl apps.Workload, schemes []ckpt.Variant, ckpts int, prog Progress) (sim.Duration, []Breakdown, error) {
+	return NewRunner(0, prog).MeasureBreakdown(context.Background(), cfg, wl, schemes, ckpts)
+}
+
+// MeasureBreakdown is the concurrent form of the package-level function:
+// every checkpointed run owns a fresh Observer, so the scheme cells fan out
+// over the pool and assemble in scheme order.
+func (r *Runner) MeasureBreakdown(ctx context.Context, cfg par.Config, wl apps.Workload, schemes []ckpt.Variant, ckpts int) (sim.Duration, []Breakdown, error) {
+	r = r.orDefault()
 	base, err := core.Run(wl, core.Config{Machine: cfg})
 	if err != nil {
 		return 0, nil, err
 	}
 	interval := base.Exec / sim.Duration(ckpts+1)
-	prog.logf("%-12s normal %8.2fs  (interval %.0fs)", wl.Name, base.Exec.Seconds(), interval.Seconds())
-	out := make([]Breakdown, 0, len(schemes))
-	for _, v := range schemes {
+	r.Prog.logf("%-12s normal %8.2fs  (interval %.0fs)", wl.Name, base.Exec.Seconds(), interval.Seconds())
+	out := make([]Breakdown, len(schemes))
+	cells := make([]Cell, len(schemes))
+	for i, v := range schemes {
+		cells[i] = Cell{App: wl.Name, Scheme: v.String()}
+	}
+	err = r.ForEach(ctx, cells, func(ctx context.Context, i int, c Cell) error {
+		v := schemes[i]
 		o := obs.New()
 		res, err := core.Run(wl, core.Config{
 			Machine:        cfg,
@@ -57,10 +71,10 @@ func MeasureBreakdown(cfg par.Config, wl apps.Workload, schemes []ckpt.Variant, 
 			Obs:            o,
 		})
 		if err != nil {
-			return 0, nil, fmt.Errorf("bench: %s under %v: %w", wl.Name, v, err)
+			return fmt.Errorf("bench: %s under %v: %w", wl.Name, v, err)
 		}
-		prog.logf("  %-12s %8.2fs", v, res.Exec.Seconds())
-		out = append(out, Breakdown{
+		r.Prog.logf("%-24s %8.2fs", c.Name(), res.Exec.Seconds())
+		out[i] = Breakdown{
 			Scheme:      v.String(),
 			Exec:        res.Exec,
 			OverheadPct: 100 * float64(res.Exec-base.Exec) / float64(base.Exec),
@@ -73,7 +87,11 @@ func MeasureBreakdown(cfg par.Config, wl apps.Workload, schemes []ckpt.Variant, 
 			TokenWait:   o.SpanTotal("ckpt.token_wait"),
 			HostWait:    sim.Seconds(o.HistTotal("storage.hostlink_queue_wait")),
 			Obs:         o,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, nil, err
 	}
 	return base.Exec, out, nil
 }

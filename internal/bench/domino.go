@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -103,67 +104,79 @@ func AsyncWorkload(iters, stateBytes int) apps.Workload {
 // and (for CIC) the price paid in forced checkpoints. The coordinated
 // comparison line is always "roll back to the last committed round" (bounded
 // by one interval plus the round latency).
-func DominoExperiment(w io.Writer, cfg par.Config, quick bool, prog Progress) error {
+func DominoExperiment(w io.Writer, cfg par.Config, quick bool, r *Runner) error {
+	r = r.orDefault()
 	iters := pick(quick, 400, 1500)
-	t := trace.NewTable("E6: recovery line vs checkpoint interval (asynchronous workload)",
-		"Scheme", "Interval", "Ckpts taken", "Ckpts on line", "Mean rollback", "Max rollback", "Domino runs", "Forced").Align(2, 3, 4, 5, 6, 7)
-	for _, div := range []int{24, 12, 6, 3} {
-		wl := AsyncWorkload(iters, 60_000)
-		base, err := coreRunNormal(wl, cfg)
+	wl := AsyncWorkload(iters, 60_000)
+	base, err := coreRunNormal(wl, cfg)
+	if err != nil {
+		return err
+	}
+
+	// The (interval divisor, scheme) cells are independent simulations plus
+	// an embarrassingly parallel failure-grid analysis, so fan them out and
+	// render the table from index-ordered results.
+	divs := []int{24, 12, 6, 3}
+	schemes := []ckpt.Variant{ckpt.Indep, ckpt.CIC}
+	type dominoRow struct {
+		interval      sim.Duration
+		ckpts, line   int
+		meanRb, maxRb sim.Duration
+		domino        int
+		forced        string
+	}
+	const samples = 40
+	outs := make([]dominoRow, len(divs)*len(schemes))
+	cells := make([]Cell, 0, len(outs))
+	for _, div := range divs {
+		for _, v := range schemes {
+			cells = append(cells, Cell{App: wl.Name, Scheme: v.String(), Rep: div})
+		}
+	}
+	err = r.ForEach(context.Background(), cells, func(ctx context.Context, i int, c Cell) error {
+		div, v := divs[i/len(schemes)], schemes[i%len(schemes)]
+		interval := base / sim.Duration(div+1)
+		n, recs, st, total, err := runSchemeForAnalysis(wl, cfg, v, ckpt.Options{Interval: interval})
 		if err != nil {
 			return err
 		}
-		interval := base / sim.Duration(div+1)
-		for _, v := range []ckpt.Variant{ckpt.Indep, ckpt.CIC} {
-			m := par.NewMachine(cfg)
-			sch := ckpt.New(v, ckpt.Options{Interval: interval})
-			sch.Attach(m)
-			world := mp.NewWorld(m)
-			progs := make([]mp.Program, m.NumNodes())
-			for rank := range progs {
-				progs[rank] = wl.Make(rank, m.NumNodes())
-				world.Launch(rank, progs[rank])
+		// Evaluate hypothetical failures on a time grid across the run.
+		row := dominoRow{interval: interval, ckpts: len(recs), line: rdgLineSize(n, recs)}
+		for s := 1; s <= samples; s++ {
+			failAt := sim.Time(total * sim.Duration(s) / (samples + 1))
+			g := rdg.FromRecordsAt(n, recs, failAt)
+			line := g.RecoveryLine()
+			if g.Domino(line) {
+				row.domino++
 			}
-			if err := m.Run(); err != nil {
-				return err
-			}
-			if err := wl.Check(progs); err != nil {
-				return err
-			}
-			recs := sch.Records()
-			n := m.NumNodes()
-
-			// Evaluate hypothetical failures on a time grid across the run.
-			total := sim.Duration(m.AppsFinished)
-			var meanRb, maxRb sim.Duration
-			domino := 0
-			const samples = 40
-			for s := 1; s <= samples; s++ {
-				failAt := sim.Time(total * sim.Duration(s) / (samples + 1))
-				g := rdg.FromRecordsAt(n, recs, failAt)
-				line := g.RecoveryLine()
-				if g.Domino(line) {
-					domino++
-				}
-				for _, d := range g.RollbackTime(line, failAt) {
-					meanRb += d / sim.Duration(n*samples)
-					if d > maxRb {
-						maxRb = d
-					}
+			for _, d := range g.RollbackTime(line, failAt) {
+				row.meanRb += d / sim.Duration(n*samples)
+				if d > row.maxRb {
+					row.maxRb = d
 				}
 			}
-			forced := "-"
-			if st := sch.Stats(); v.CommunicationInduced() {
-				forced = fmt.Sprintf("%d", st.ForcedCkpts)
-			}
-			t.Rowf(v.String(), fmt.Sprintf("%.1fs", interval.Seconds()),
-				len(recs), rdgLineSize(n, recs),
-				fmt.Sprintf("%.2fs", meanRb.Seconds()),
-				fmt.Sprintf("%.2fs", maxRb.Seconds()),
-				fmt.Sprintf("%d/%d", domino, samples),
-				forced)
-			prog.logf("%s interval %v: %d ckpts, mean rollback %v", v, interval, len(recs), meanRb)
 		}
+		row.forced = "-"
+		if v.CommunicationInduced() {
+			row.forced = fmt.Sprintf("%d", st.ForcedCkpts)
+		}
+		outs[i] = row
+		r.Prog.logf("%s interval %v: %d ckpts, mean rollback %v", c.Name(), interval, len(recs), row.meanRb)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E6: recovery line vs checkpoint interval (asynchronous workload)",
+		"Scheme", "Interval", "Ckpts taken", "Ckpts on line", "Mean rollback", "Max rollback", "Domino runs", "Forced").Align(2, 3, 4, 5, 6, 7)
+	for i := range outs {
+		o := outs[i]
+		t.Rowf(schemes[i%len(schemes)].String(), fmt.Sprintf("%.1fs", o.interval.Seconds()),
+			o.ckpts, o.line,
+			fmt.Sprintf("%.2fs", o.meanRb.Seconds()),
+			fmt.Sprintf("%.2fs", o.maxRb.Seconds()),
+			fmt.Sprintf("%d/%d", o.domino, samples),
+			o.forced)
 	}
 	t.Write(w)
 	fmt.Fprintln(w, "\nCoordinated checkpointing's rollback is bounded by one interval by")
@@ -198,7 +211,16 @@ func RunSchemeForRecords(wl apps.Workload, cfg par.Config, v ckpt.Variant, opt c
 // RunSchemeForStats is RunSchemeForRecords plus the scheme's counters, for
 // analyses that also need the forced/basic checkpoint split.
 func RunSchemeForStats(wl apps.Workload, cfg par.Config, v ckpt.Variant, opt ckpt.Options) (int, []ckpt.Record, ckpt.Stats, error) {
+	n, recs, st, _, err := runSchemeForAnalysis(wl, cfg, v, opt)
+	return n, recs, st, err
+}
+
+// runSchemeForAnalysis is the full checkpointed run behind the recovery-line
+// analyses: machine size, committed records, scheme counters, and the
+// application completion time (the failure-grid extent).
+func runSchemeForAnalysis(wl apps.Workload, cfg par.Config, v ckpt.Variant, opt ckpt.Options) (int, []ckpt.Record, ckpt.Stats, sim.Duration, error) {
 	m := par.NewMachine(cfg)
+	defer m.Shutdown()
 	sch := ckpt.New(v, opt)
 	sch.Attach(m)
 	world := mp.NewWorld(m)
@@ -208,17 +230,18 @@ func RunSchemeForStats(wl apps.Workload, cfg par.Config, v ckpt.Variant, opt ckp
 		world.Launch(rank, progs[rank])
 	}
 	if err := m.Run(); err != nil {
-		return 0, nil, ckpt.Stats{}, err
+		return 0, nil, ckpt.Stats{}, 0, err
 	}
 	if err := wl.Check(progs); err != nil {
-		return 0, nil, ckpt.Stats{}, err
+		return 0, nil, ckpt.Stats{}, 0, err
 	}
-	return m.NumNodes(), sch.Records(), sch.Stats(), nil
+	return m.NumNodes(), sch.Records(), sch.Stats(), sim.Duration(m.AppsFinished), nil
 }
 
 // coreRunNormal measures the failure-free execution time of wl.
 func coreRunNormal(wl apps.Workload, cfg par.Config) (sim.Duration, error) {
 	m := par.NewMachine(cfg)
+	defer m.Shutdown()
 	w := mp.NewWorld(m)
 	progs := make([]mp.Program, m.NumNodes())
 	for rank := range progs {

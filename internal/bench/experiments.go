@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,21 +15,32 @@ import (
 	"repro/internal/trace"
 )
 
-// RunExperiment dispatches the extension experiments by name.
-func RunExperiment(w io.Writer, name string, cfg par.Config, quick bool, prog Progress) error {
+// orDefault returns r, or a fresh default-parallelism silent runner when r is
+// nil, so experiment entry points accept a nil *Runner.
+func (r *Runner) orDefault() *Runner {
+	if r == nil {
+		return NewRunner(0, nil)
+	}
+	return r
+}
+
+// RunExperiment dispatches the extension experiments by name, fanning each
+// experiment's independent cells out over r's worker pool (nil r means
+// default parallelism, silent progress).
+func RunExperiment(w io.Writer, name string, cfg par.Config, quick bool, r *Runner) error {
 	switch name {
 	case "sync":
-		return SyncCostExperiment(w, cfg, prog)
+		return SyncCostExperiment(w, cfg, r)
 	case "storage":
-		return StorageOverheadExperiment(w, cfg, quick, prog)
+		return StorageOverheadExperiment(w, cfg, quick, r)
 	case "stagger":
-		return StaggerAblation(w, cfg, quick, prog)
+		return StaggerAblation(w, cfg, quick, r)
 	case "interval":
-		return IntervalSweep(w, cfg, quick, prog)
+		return IntervalSweep(w, cfg, quick, r)
 	case "scaling":
-		return ScalingExperiment(w, cfg, quick, prog)
+		return ScalingExperiment(w, cfg, quick, r)
 	case "domino":
-		return DominoExperiment(w, cfg, quick, prog)
+		return DominoExperiment(w, cfg, quick, r)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q", name)
 	}
@@ -39,33 +51,51 @@ func RunExperiment(w io.Writer, name string, cfg par.Config, quick bool, prog Pr
 // overhead at size zero is pure protocol (request, markers, acks, commit).
 // The paper's central claim is that this cost is negligible against the
 // state-writing cost.
-func SyncCostExperiment(w io.Writer, cfg par.Config, prog Progress) error {
+func SyncCostExperiment(w io.Writer, cfg par.Config, r *Runner) error {
+	r = r.orDefault()
 	// Zero the process-image constant so the first row isolates the pure
 	// protocol cost (request, markers, acks, commit, one empty write).
 	cfg.CkptImageBytes = 0
+	sizes := []int{0, 10_000, 100_000, 500_000, 1_000_000}
+	type out struct {
+		over sim.Duration
+		msgs float64
+	}
+	outs := make([]out, len(sizes))
+	cells := make([]Cell, len(sizes))
+	for i, stateBytes := range sizes {
+		cells[i] = Cell{App: fmt.Sprintf("RING-%dB", stateBytes), Scheme: "E4"}
+	}
+	err := r.ForEach(context.Background(), cells, func(ctx context.Context, i int, c Cell) error {
+		wl := syntheticWorkload(sizes[i])
+		rows, err := r.MeasureRows(ctx, cfg, []apps.Workload{wl}, []ckpt.Variant{ckpt.CoordNB}, 3)
+		if err != nil {
+			return err
+		}
+		res, err := core.Run(wl, core.Config{Machine: cfg, Scheme: ckpt.CoordNB,
+			Interval: rows[0].Interval, MaxCheckpoints: 3})
+		if err != nil {
+			return err
+		}
+		outs[i] = out{
+			over: rows[0].PerCkpt(ckpt.CoordNB),
+			msgs: float64(res.Ckpt.ProtoMsgs) / float64(res.Ckpt.Rounds),
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	t := trace.NewTable("E4: coordinated checkpoint cost decomposition (Coord_NB, synthetic ring workload)",
 		"State/node", "Overhead/ckpt", "Protocol msgs/ckpt", "Sync share").Align(1, 2, 3)
-	for _, stateBytes := range []int{0, 10_000, 100_000, 500_000, 1_000_000} {
-		wl := syntheticWorkload(stateBytes)
-		rows, err := MeasureRows(cfg, []apps.Workload{wl}, []ckpt.Variant{ckpt.CoordNB}, 3, prog)
-		if err != nil {
-			return err
-		}
-		r := rows[0]
-		over := r.PerCkpt(ckpt.CoordNB)
-		res, err := core.Run(wl, core.Config{Machine: cfg, Scheme: ckpt.CoordNB,
-			Interval: r.Interval, MaxCheckpoints: 3})
-		if err != nil {
-			return err
-		}
-		msgs := float64(res.Ckpt.ProtoMsgs) / float64(res.Ckpt.Rounds)
+	for i, stateBytes := range sizes {
 		share := "-"
 		if stateBytes > 0 {
 			// Compare against the zero-state run printed in the first row.
-			share = fmt.Sprintf("see row 1 vs %.3fs", over.Seconds())
+			share = fmt.Sprintf("see row 1 vs %.3fs", outs[i].over.Seconds())
 		}
-		t.Rowf(fmt.Sprintf("%d B", stateBytes), fmt.Sprintf("%.3fs", over.Seconds()),
-			fmt.Sprintf("%.0f", msgs), share)
+		t.Rowf(fmt.Sprintf("%d B", stateBytes), fmt.Sprintf("%.3fs", outs[i].over.Seconds()),
+			fmt.Sprintf("%.0f", outs[i].msgs), share)
 	}
 	t.Write(w)
 	fmt.Fprintln(w, "\nThe zero-state row is the pure synchronization cost; the paper found it negligible.")
@@ -76,27 +106,50 @@ func SyncCostExperiment(w io.Writer, cfg par.Config, prog Progress) error {
 // coordinated vs independent checkpointing: coordinated garbage-collects all
 // but the last committed round, independent retains every checkpoint unless
 // a reclamation algorithm runs.
-func StorageOverheadExperiment(w io.Writer, cfg par.Config, quick bool, prog Progress) error {
+func StorageOverheadExperiment(w io.Writer, cfg par.Config, quick bool, r *Runner) error {
+	r = r.orDefault()
 	wl := apps.SORWorkload(apps.DefaultSOR(pick(quick, 128, 512), pick(quick, 40, 100)))
-	t := trace.NewTable("E5: stable-storage overhead (SOR, checkpoint every interval)",
-		"Scheme", "Ckpts taken", "Peak bytes", "Files at end", "GC reclaims").Align(1, 2, 3, 4)
-	for _, v := range []ckpt.Variant{ckpt.CoordNB, ckpt.CoordNBMS, ckpt.Indep, ckpt.IndepM, ckpt.CIC} {
-		res, err := core.Run(wl, core.Config{Machine: cfg, Scheme: v,
-			Interval: sim.Duration(pick(quick, 2, 20)) * sim.Second})
+	interval := sim.Duration(pick(quick, 2, 20)) * sim.Second
+
+	plain := []ckpt.Variant{ckpt.CoordNB, ckpt.CoordNBMS, ckpt.Indep, ckpt.IndepM, ckpt.CIC}
+	plainRes := make([]core.Result, len(plain))
+	cells := make([]Cell, len(plain))
+	for i, v := range plain {
+		cells[i] = Cell{App: wl.Name, Scheme: v.String()}
+	}
+	err := r.ForEach(context.Background(), cells, func(ctx context.Context, i int, c Cell) error {
+		res, err := core.Run(wl, core.Config{Machine: cfg, Scheme: plain[i], Interval: interval})
 		if err != nil {
 			return err
 		}
-		t.Rowf(v.String(), res.Ckpt.Checkpoints, res.StoragePeak, res.FilesAtEnd, "-")
-		prog.logf("%s: peak %d bytes", v, res.StoragePeak)
+		plainRes[i] = res
+		r.Prog.logf("%s: peak %d bytes", c.Name(), res.StoragePeak)
+		return nil
+	})
+	if err != nil {
+		return err
 	}
+
 	// Uncoordinated schemes with active garbage collection (Wang et al.):
 	// the dependency analysis reclaims checkpoints behind the recovery line.
 	// CIC's recovery line sits at the latest checkpoints, so its collector
 	// reclaims everything older, whereas Indep's line can lag arbitrarily.
-	interval := sim.Duration(pick(quick, 2, 20)) * sim.Second
-	for _, v := range []ckpt.Variant{ckpt.Indep, ckpt.CIC} {
+	gcVars := []ckpt.Variant{ckpt.Indep, ckpt.CIC}
+	type gcOut struct {
+		ckpts, files int
+		peak         int64
+		reclaims     int
+		freedMB      float64
+	}
+	gcRes := make([]gcOut, len(gcVars))
+	gcCells := make([]Cell, len(gcVars))
+	for i, v := range gcVars {
+		gcCells[i] = Cell{App: wl.Name, Scheme: v.String() + "+GC"}
+	}
+	err = r.ForEach(context.Background(), gcCells, func(ctx context.Context, i int, c Cell) error {
 		m := par.NewMachine(cfg)
-		sch := ckpt.New(v, ckpt.Options{Interval: interval})
+		defer m.Shutdown()
+		sch := ckpt.New(gcVars[i], ckpt.Options{Interval: interval})
 		sch.Attach(m)
 		gc := rdg.AttachGC(m, sch, interval)
 		world := mp.NewWorld(m)
@@ -111,8 +164,27 @@ func StorageOverheadExperiment(w io.Writer, cfg par.Config, quick bool, prog Pro
 		if err := wl.Check(progs); err != nil {
 			return err
 		}
-		t.Rowf(v.String()+"+GC", sch.Stats().Checkpoints, m.Store.PeakOccupied(), m.Store.NumFiles(),
-			fmt.Sprintf("%d (%.1f MB)", gc.Reclaims, float64(gc.Freed)/1e6))
+		gcRes[i] = gcOut{
+			ckpts:    sch.Stats().Checkpoints,
+			files:    m.Store.NumFiles(),
+			peak:     m.Store.PeakOccupied(),
+			reclaims: gc.Reclaims,
+			freedMB:  float64(gc.Freed) / 1e6,
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	t := trace.NewTable("E5: stable-storage overhead (SOR, checkpoint every interval)",
+		"Scheme", "Ckpts taken", "Peak bytes", "Files at end", "GC reclaims").Align(1, 2, 3, 4)
+	for i, v := range plain {
+		t.Rowf(v.String(), plainRes[i].Ckpt.Checkpoints, plainRes[i].StoragePeak, plainRes[i].FilesAtEnd, "-")
+	}
+	for i, v := range gcVars {
+		t.Rowf(v.String()+"+GC", gcRes[i].ckpts, gcRes[i].peak, gcRes[i].files,
+			fmt.Sprintf("%d (%.1f MB)", gcRes[i].reclaims, gcRes[i].freedMB))
 	}
 	t.Write(w)
 	fmt.Fprintln(w, "\nCoordinated checkpointing double-buffers two rounds regardless of run")
@@ -126,20 +198,21 @@ func StorageOverheadExperiment(w io.Writer, cfg par.Config, quick bool, prog Pro
 
 // StaggerAblation (E8) separates the two optimizations the paper combines in
 // NBMS: staggering only helps together with main-memory checkpointing.
-func StaggerAblation(w io.Writer, cfg par.Config, quick bool, prog Progress) error {
+func StaggerAblation(w io.Writer, cfg par.Config, quick bool, r *Runner) error {
+	r = r.orDefault()
 	wl := apps.SORWorkload(apps.DefaultSOR(pick(quick, 128, 512), pick(quick, 40, 100)))
-	rows, err := MeasureRows(cfg, []apps.Workload{wl},
-		[]ckpt.Variant{ckpt.CoordNB, ckpt.CoordNBM, ckpt.CoordNBMS, ckpt.CoordB}, 3, prog)
+	rows, err := r.MeasureRows(context.Background(), cfg, []apps.Workload{wl},
+		[]ckpt.Variant{ckpt.CoordNB, ckpt.CoordNBM, ckpt.CoordNBMS, ckpt.CoordB}, 3)
 	if err != nil {
 		return err
 	}
-	r := rows[0]
+	rr := rows[0]
 	t := trace.NewTable("E8: optimization ablation (SOR)",
 		"Variant", "Overhead %", "Technique").Align(1)
-	t.Rowf("Coord_B", r.Percent(ckpt.CoordB), "blocking baseline")
-	t.Rowf("Coord_NB", r.Percent(ckpt.CoordNB), "non-blocking protocol")
-	t.Rowf("Coord_NBM", r.Percent(ckpt.CoordNBM), "+ main-memory checkpointing")
-	t.Rowf("Coord_NBMS", r.Percent(ckpt.CoordNBMS), "+ checkpoint staggering")
+	t.Rowf("Coord_B", rr.Percent(ckpt.CoordB), "blocking baseline")
+	t.Rowf("Coord_NB", rr.Percent(ckpt.CoordNB), "non-blocking protocol")
+	t.Rowf("Coord_NBM", rr.Percent(ckpt.CoordNBM), "+ main-memory checkpointing")
+	t.Rowf("Coord_NBMS", rr.Percent(ckpt.CoordNBMS), "+ checkpoint staggering")
 	t.Write(w)
 	return nil
 }
@@ -147,28 +220,44 @@ func StaggerAblation(w io.Writer, cfg par.Config, quick bool, prog Progress) err
 // IntervalSweep (E9) measures overhead as a function of the checkpoint
 // interval and compares with Young's first-order model
 // (overhead ≈ C/I where C is the cost of one checkpoint).
-func IntervalSweep(w io.Writer, cfg par.Config, quick bool, prog Progress) error {
+func IntervalSweep(w io.Writer, cfg par.Config, quick bool, r *Runner) error {
+	r = r.orDefault()
 	wl := apps.SORWorkload(apps.DefaultSOR(pick(quick, 128, 384), pick(quick, 60, 150)))
 	base, err := core.Run(wl, core.Config{Machine: cfg})
+	if err != nil {
+		return err
+	}
+	divs := []int{16, 8, 4, 2}
+	results := make([]core.Result, len(divs))
+	cells := make([]Cell, len(divs))
+	for i, div := range divs {
+		cells[i] = Cell{App: wl.Name, Scheme: "Coord_NBMS", Rep: div}
+	}
+	err = r.ForEach(context.Background(), cells, func(ctx context.Context, i int, c Cell) error {
+		interval := base.Exec / sim.Duration(divs[i]+1)
+		res, err := core.Run(wl, core.Config{Machine: cfg, Scheme: ckpt.CoordNBMS, Interval: interval})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return err
 	}
 	t := trace.NewTable("E9: overhead vs checkpoint interval (SOR, Coord_NBMS)",
 		"Interval", "Ckpts", "Overhead %", "Young C/I %").Align(1, 2, 3)
 	var costPerCkpt float64 // estimated from the densest run
-	for i, div := range []int{16, 8, 4, 2} {
+	for i, div := range divs {
 		interval := base.Exec / sim.Duration(div+1)
-		res, err := core.Run(wl, core.Config{Machine: cfg, Scheme: ckpt.CoordNBMS, Interval: interval})
-		if err != nil {
-			return err
-		}
+		res := results[i]
 		over := float64(res.Exec-base.Exec) / float64(base.Exec) * 100
 		if i == 0 && res.Ckpt.Rounds > 0 {
 			costPerCkpt = float64(res.Exec-base.Exec) / float64(res.Ckpt.Rounds)
 		}
 		model := costPerCkpt / float64(interval) * 100
 		t.Rowf(fmt.Sprintf("%.0fs", interval.Seconds()), res.Ckpt.Rounds, over, model)
-		prog.logf("interval %v: %d rounds, %.2f%%", interval, res.Ckpt.Rounds, over)
+		r.Prog.logf("interval %v: %d rounds, %.2f%%", interval, res.Ckpt.Rounds, over)
 	}
 	t.Write(w)
 	return nil
@@ -177,24 +266,39 @@ func IntervalSweep(w io.Writer, cfg par.Config, quick bool, prog Progress) error
 // ScalingExperiment (E10) holds per-node state constant and grows the mesh:
 // the stable-storage bottleneck makes coordinated non-staggered overhead
 // grow with machine size while NBMS stays flat per node.
-func ScalingExperiment(w io.Writer, cfg par.Config, quick bool, prog Progress) error {
-	t := trace.NewTable("E10: overhead per checkpoint vs machine size (synthetic ring, 128 KB/node)",
-		"Nodes", "NB", "Indep", "NBMS").Align(1, 2, 3)
-	for _, dims := range [][2]int{{2, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4}} {
-		c := cfg
-		c.Fabric.MeshW, c.Fabric.MeshH = dims[0], dims[1]
-		n := c.Fabric.Nodes()
-		wl := syntheticWorkloadN(128_000, n)
-		rows, err := MeasureRows(c, []apps.Workload{wl},
-			[]ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CoordNBMS}, 2, prog)
+func ScalingExperiment(w io.Writer, cfg par.Config, quick bool, r *Runner) error {
+	r = r.orDefault()
+	dims := [][2]int{{2, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4}}
+	meshRows := make([]Row, len(dims))
+	nodes := make([]int, len(dims))
+	cells := make([]Cell, len(dims))
+	for i, d := range dims {
+		cells[i] = Cell{App: fmt.Sprintf("RING-%dx%d", d[0], d[1]), Scheme: "E10"}
+	}
+	err := r.ForEach(context.Background(), cells, func(ctx context.Context, i int, c Cell) error {
+		cc := cfg
+		cc.Fabric.MeshW, cc.Fabric.MeshH = dims[i][0], dims[i][1]
+		nodes[i] = cc.Fabric.Nodes()
+		wl := syntheticWorkloadN(128_000, nodes[i])
+		rows, err := r.MeasureRows(ctx, cc, []apps.Workload{wl},
+			[]ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CoordNBMS}, 2)
 		if err != nil {
 			return err
 		}
-		r := rows[0]
-		t.Rowf(n,
-			fmt.Sprintf("%.2fs", r.PerCkpt(ckpt.CoordNB).Seconds()),
-			fmt.Sprintf("%.2fs", r.PerCkpt(ckpt.Indep).Seconds()),
-			fmt.Sprintf("%.2fs", r.PerCkpt(ckpt.CoordNBMS).Seconds()))
+		meshRows[i] = rows[0]
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	t := trace.NewTable("E10: overhead per checkpoint vs machine size (synthetic ring, 128 KB/node)",
+		"Nodes", "NB", "Indep", "NBMS").Align(1, 2, 3)
+	for i := range dims {
+		rr := meshRows[i]
+		t.Rowf(nodes[i],
+			fmt.Sprintf("%.2fs", rr.PerCkpt(ckpt.CoordNB).Seconds()),
+			fmt.Sprintf("%.2fs", rr.PerCkpt(ckpt.Indep).Seconds()),
+			fmt.Sprintf("%.2fs", rr.PerCkpt(ckpt.CoordNBMS).Seconds()))
 	}
 	t.Write(w)
 	return nil

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ckpt"
+)
+
+// FuzzVariantParse throws arbitrary strings at the scheme-name resolver. It
+// must never panic; any name it does accept must round-trip — resolving the
+// variant's canonical String() form, and every case/underscore mangling of
+// it, back to the same variant.
+func FuzzVariantParse(f *testing.F) {
+	for _, name := range ckpt.VariantNames() {
+		f.Add(name)
+		f.Add(strings.ToLower(name))
+		f.Add(strings.TrimPrefix(name, "Coord_"))
+	}
+	f.Add("nbms")
+	f.Add("Coord_")
+	f.Add("")
+	f.Add("___")
+	f.Add("indep_log_extra")
+	f.Add("CIC_M\x00")
+
+	f.Fuzz(func(t *testing.T, name string) {
+		v, err := SchemeByName(name)
+		if err != nil {
+			return // rejection is fine; not panicking is the property
+		}
+		canon := v.String()
+		if strings.HasPrefix(canon, "Variant(") {
+			t.Fatalf("%q resolved to unnamed variant %v", name, v)
+		}
+		// The canonical name must parse exactly in ckpt and leniently here.
+		if got, ok := ckpt.ParseVariant(canon); !ok || got != v {
+			t.Fatalf("ParseVariant(%q) = %v, %v; want %v", canon, got, ok, v)
+		}
+		for _, mangled := range []string{
+			strings.ToLower(canon),
+			strings.ToUpper(canon),
+			strings.ReplaceAll(canon, "_", ""),
+			strings.TrimPrefix(canon, "Coord_"),
+		} {
+			if got, err := SchemeByName(mangled); err != nil || got != v {
+				t.Fatalf("SchemeByName(%q) = %v, %v; want %v (from input %q)", mangled, got, err, v, name)
+			}
+		}
+	})
+}

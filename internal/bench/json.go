@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"io"
+	"time"
 
 	"repro/internal/ckpt"
 	"repro/internal/par"
@@ -35,11 +36,42 @@ type JSONRow struct {
 	Schemes     []JSONScheme `json:"schemes"`
 }
 
+// JSONCellTime is one matrix cell's host wall-clock cost.
+type JSONCellTime struct {
+	Cell    string  `json:"cell"`
+	WallSec float64 `json:"wall_sec"`
+}
+
+// JSONTiming is the optional host-timing section of the report: per-cell
+// wall-clock costs from the parallel runner plus the real elapsed time, so
+// the pool's speedup (total_cell_sec / elapsed_sec) is recorded alongside the
+// results. It is flag-gated (chkbench -celltime) and omitted by default —
+// wall-clock varies run to run, and the default report must stay
+// byte-identical across parallelism levels.
+type JSONTiming struct {
+	Parallel     int            `json:"parallel"`
+	ElapsedSec   float64        `json:"elapsed_sec"`
+	TotalCellSec float64        `json:"total_cell_sec"`
+	Cells        []JSONCellTime `json:"cells"`
+}
+
 // JSONReport is the machine-readable form of the reproduced tables.
 type JSONReport struct {
-	Paper string    `json:"paper"`
-	Nodes int       `json:"nodes"`
-	Rows  []JSONRow `json:"rows"`
+	Paper  string      `json:"paper"`
+	Nodes  int         `json:"nodes"`
+	Rows   []JSONRow   `json:"rows"`
+	Timing *JSONTiming `json:"timing,omitempty"`
+}
+
+// TimingReport builds the host-timing section from a runner's completed
+// cells and the real elapsed time of the whole invocation.
+func TimingReport(r *Runner, elapsed time.Duration) *JSONTiming {
+	t := &JSONTiming{Parallel: r.parallel(), ElapsedSec: elapsed.Seconds()}
+	for _, ct := range r.Timings() {
+		t.TotalCellSec += ct.Wall.Seconds()
+		t.Cells = append(t.Cells, JSONCellTime{Cell: ct.Cell.Name(), WallSec: ct.Wall.Seconds()})
+	}
+	return t
 }
 
 // Report converts measured rows into the JSON report structure, covering the

@@ -24,6 +24,7 @@ func RecoveryDemo(w io.Writer, cfg par.Config, v ckpt.Variant, interval, crashAt
 
 	// Failure-free baseline for the oracle and the lost-work accounting.
 	m0 := par.NewMachine(cfg)
+	defer m0.Shutdown()
 	w0 := mp.NewWorld(m0)
 	progs0 := make([]mp.Program, m0.NumNodes())
 	for rank := range progs0 {
@@ -36,6 +37,7 @@ func RecoveryDemo(w io.Writer, cfg par.Config, v ckpt.Variant, interval, crashAt
 	base := sim.Duration(m0.AppsFinished)
 
 	m := par.NewMachine(cfg)
+	defer m.Shutdown()
 	opt := ckpt.Options{Interval: interval}
 	sch := ckpt.New(v, opt)
 	sch.Attach(m)
@@ -89,6 +91,7 @@ func RecoveryDemo(w io.Writer, cfg par.Config, v ckpt.Variant, interval, crashAt
 func LoggingRecoveryDemo(w io.Writer, cfg par.Config, victim int, crashAt, repair sim.Duration) error {
 	wl := syntheticWorkload(200_000)
 	m := par.NewMachine(cfg)
+	defer m.Shutdown()
 	sch := ckpt.New(ckpt.IndepLog, ckpt.Options{Interval: 5 * sim.Second})
 	sch.Attach(m)
 	world := mp.NewWorld(m)

@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/apps"
 	"repro/internal/ckpt"
-	"repro/internal/core"
-	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -55,65 +52,6 @@ func (r Row) PerCkpt(v ckpt.Variant) sim.Duration {
 // Percent returns the relative overhead in percent, the quantity of Table 3.
 func (r Row) Percent(v ckpt.Variant) float64 {
 	return 100 * float64(r.Overhead(v)) / float64(r.Normal)
-}
-
-// Progress receives one line per completed run; nil is silent.
-type Progress func(format string, args ...any)
-
-func (p Progress) logf(format string, args ...any) {
-	if p != nil {
-		p(format, args...)
-	}
-}
-
-// MeasureRows runs every workload normally and under each scheme with
-// `ckpts` checkpoints at interval normal/(ckpts+1), and returns one Row per
-// workload. This is the measurement procedure behind all three tables: the
-// paper ran each application unchanged, then under each checkpointing
-// scheme, with 3 checkpoints spread over the execution.
-func MeasureRows(cfg par.Config, wls []apps.Workload, schemes []ckpt.Variant, ckpts int, prog Progress) ([]Row, error) {
-	rows := make([]Row, 0, len(wls))
-	for _, wl := range wls {
-		base, err := core.Run(wl, core.Config{Machine: cfg})
-		if err != nil {
-			return nil, err
-		}
-		row := Row{
-			Workload: wl.Name,
-			Normal:   base.Exec,
-			Interval: base.Exec / sim.Duration(ckpts+1),
-			Ckpts:    ckpts,
-			Exec:     map[ckpt.Variant]sim.Duration{},
-			Done:     map[ckpt.Variant]float64{},
-			Stats:    map[ckpt.Variant]ckpt.Stats{},
-		}
-		prog.logf("%-12s normal %8.2fs  (interval %.0fs)", wl.Name, base.Exec.Seconds(), row.Interval.Seconds())
-		for _, v := range schemes {
-			res, err := core.Run(wl, core.Config{
-				Machine:        cfg,
-				Scheme:         v,
-				Interval:       row.Interval,
-				MaxCheckpoints: ckpts,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s under %v: %w", wl.Name, v, err)
-			}
-			got := float64(res.Ckpt.Rounds)
-			if !v.Coordinated() {
-				got = float64(res.Ckpt.Checkpoints) / float64(cfg.Fabric.Nodes())
-			}
-			if got != float64(ckpts) {
-				prog.logf("  note: %s under %v completed %.2f/%d checkpoints (overhead normalized)", wl.Name, v, got, ckpts)
-			}
-			row.Exec[v] = res.Exec
-			row.Done[v] = got
-			row.Stats[v] = res.Ckpt
-			prog.logf("  %-12s %8.2fs  (+%.2fs, %.2f%%)", v, res.Exec.Seconds(),
-				row.Overhead(v).Seconds(), row.Percent(v))
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
 }
 
 // perCkptCell formats PerCkpt for schemes the row measured, "-" otherwise

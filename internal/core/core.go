@@ -80,6 +80,7 @@ func (c Config) CheckpointingOn() bool { return c.Interval > 0 || c.FirstAt > 0 
 // failures (deadlock, panics) and oracle mismatches.
 func Run(wl apps.Workload, cfg Config) (Result, error) {
 	m := par.NewMachine(cfg.Machine)
+	defer m.Shutdown()
 	m.SetObserver(cfg.Obs)
 	var sch ckpt.Scheme
 	if cfg.CheckpointingOn() {

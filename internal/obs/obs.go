@@ -20,6 +20,7 @@ package obs
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -103,7 +104,14 @@ type InstantEvent struct {
 // Observer is the recording sink. The zero value is not used directly;
 // create observers with New. A nil *Observer is the disabled sink: all
 // methods are safe and free on it.
+//
+// An Observer is safe for concurrent use: a single simulation records from
+// one goroutine at a time (the engine's handoff discipline), but the bench
+// matrix runner shares one observer across worker goroutines for its
+// aggregate per-cell metrics, so all recording and reading methods
+// synchronize internally.
 type Observer struct {
+	mu       sync.Mutex
 	clock    func() sim.Time
 	scheme   string
 	metrics  map[Key]*Metric
@@ -138,6 +146,8 @@ func (o *Observer) Bind(eng *sim.Engine) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.clock = eng.Now
 }
 
@@ -146,6 +156,8 @@ func (o *Observer) BindClock(fn func() sim.Time) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.clock = fn
 }
 
@@ -155,6 +167,8 @@ func (o *Observer) SetScheme(name string) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.scheme = name
 }
 
@@ -163,6 +177,8 @@ func (o *Observer) Scheme() string {
 	if o == nil {
 		return ""
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.scheme
 }
 
@@ -171,6 +187,8 @@ func (o *Observer) PidName(pid int, name string) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.pidNames[pid] = name
 }
 
@@ -180,6 +198,8 @@ func (o *Observer) TidName(pid, tid int, name string) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.tidNames[[2]int{pid, tid}] = name
 }
 
@@ -190,6 +210,8 @@ func (o *Observer) DefineBuckets(name string, bounds []float64) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.bounds[name] = append([]float64(nil), bounds...)
 }
 
@@ -222,6 +244,8 @@ func (o *Observer) Add(node int, name string, delta int64) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	m := o.metric(node, name, KindCounter)
 	m.Count += delta
 	m.Updated = o.now()
@@ -232,6 +256,8 @@ func (o *Observer) Gauge(node int, name string, v float64) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	m := o.metric(node, name, KindGauge)
 	m.Value = v
 	m.Updated = o.now()
@@ -242,6 +268,8 @@ func (o *Observer) Observe(node int, name string, v float64) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	m := o.metric(node, name, KindHistogram)
 	m.Hist.Observe(v)
 	m.Updated = o.now()
@@ -272,6 +300,8 @@ func (o *Observer) Start(pid, tid int, name string) Span {
 	if o == nil {
 		return Span{}
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return Span{o: o, pid: pid, tid: tid, name: name, start: o.now()}
 }
 
@@ -288,6 +318,8 @@ func (sp Span) End() {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.seq++
 	o.spans = append(o.spans, SpanEvent{
 		Pid: sp.pid, Tid: sp.tid, Name: sp.name,
@@ -301,6 +333,8 @@ func (o *Observer) Instant(pid, tid int, name string) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.seq++
 	o.instants = append(o.instants, InstantEvent{
 		Pid: pid, Tid: tid, Name: name, At: o.now(), Seq: o.seq,
@@ -312,6 +346,8 @@ func (o *Observer) InstantArg(pid, tid int, name, key string, v int64) {
 	if o == nil {
 		return
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	o.seq++
 	o.instants = append(o.instants, InstantEvent{
 		Pid: pid, Tid: tid, Name: name, At: o.now(), Seq: o.seq,
@@ -324,6 +360,8 @@ func (o *Observer) Spans() []SpanEvent {
 	if o == nil {
 		return nil
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return append([]SpanEvent(nil), o.spans...)
 }
 
@@ -332,6 +370,8 @@ func (o *Observer) Instants() []InstantEvent {
 	if o == nil {
 		return nil
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return append([]InstantEvent(nil), o.instants...)
 }
 
@@ -341,6 +381,8 @@ func (o *Observer) SpanTotal(name string) sim.Duration {
 	if o == nil {
 		return 0
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	var total sim.Duration
 	for _, e := range o.spans {
 		if e.Name == name {
@@ -356,6 +398,8 @@ func (o *Observer) CounterTotal(name string) int64 {
 	if o == nil {
 		return 0
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	var total int64
 	for k, m := range o.metrics {
 		if k.Name == name && m.Kind == KindCounter {
@@ -371,6 +415,8 @@ func (o *Observer) HistTotal(name string) float64 {
 	if o == nil {
 		return 0
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	var total float64
 	for k, m := range o.metrics {
 		if k.Name == name && m.Kind == KindHistogram {
@@ -381,15 +427,21 @@ func (o *Observer) HistTotal(name string) float64 {
 }
 
 // Snapshot returns the registry contents, sorted by (scheme, name, node).
-// The returned Metric values are copies; Hist pointers reference the live
-// histograms and must be treated as read-only.
+// The returned Metric values are copies, histograms included, so a snapshot
+// stays stable even if other goroutines keep recording.
 func (o *Observer) Snapshot() []Metric {
 	if o == nil {
 		return nil
 	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	out := make([]Metric, 0, len(o.metrics))
 	for _, m := range o.metrics {
-		out = append(out, *m)
+		c := *m
+		if c.Hist != nil {
+			c.Hist = c.Hist.Clone()
+		}
+		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Key, out[j].Key

@@ -235,6 +235,14 @@ func (m *Machine) AppsLive() int { return m.appsLive }
 // Run executes the simulation to completion.
 func (m *Machine) Run() error { return m.Eng.Run() }
 
+// Shutdown releases the goroutines of processes still parked when the
+// simulation ended (daemons, blocked processes after a deadlock). The machine
+// stays readable — results, stores and snapshots survive — but cannot be run
+// again. Every Machine that is not needed for further simulation should be
+// shut down, or a long benchmarking process accumulates one blocked goroutine
+// per daemon per run.
+func (m *Machine) Shutdown() { m.Eng.Shutdown() }
+
 // CrashAll models a total system failure at the current instant: every
 // node's processes are killed, in-flight and queued messages are lost, and
 // stable storage discards uncommitted data. The engine keeps running so a
