@@ -14,6 +14,7 @@
 //	chkbench -exp stagger    # E8: staggering ablation
 //	chkbench -exp interval   # E9: overhead vs checkpoint interval
 //	chkbench -exp scaling    # E10: overhead vs machine size
+//	chkbench -exp avail      # E12: availability under injected faults
 //
 // Concurrency: the (workload, scheme) matrix fans out over a worker pool.
 // Results are byte-identical at every parallelism level — each cell's
@@ -49,7 +50,7 @@ import (
 
 func main() {
 	table := flag.String("table", "", "table to regenerate: 1, 2, 3 or all")
-	exp := flag.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling, domino")
+	exp := flag.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling, domino, avail")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	verbose := flag.Bool("v", false, "log every run")
 	parallel := flag.Int("parallel", 0, "worker goroutines for the benchmark matrix (0 = GOMAXPROCS)")

@@ -5,6 +5,8 @@
 //	                         #     independent checkpointing
 //	chkrecover -exp logging  # E11: single-node failure + sender-based
 //	                         #      message-logging recovery
+//	chkrecover -exp avail    # E12: availability under injected faults and
+//	                         #      Poisson failures
 package main
 
 import (
@@ -20,12 +22,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "coord", "experiment: coord or domino")
+	exp := flag.String("exp", "coord", "experiment: coord, domino, logging or avail")
 	scheme := flag.String("scheme", "NBMS", "coordinated scheme for -exp coord")
 	interval := flag.Duration("interval", 3*time.Second, "checkpoint interval (virtual)")
 	crashAt := flag.Duration("crash", 15*time.Second, "failure time (virtual)")
 	quick := flag.Bool("quick", false, "reduced workload sizes")
-	parallel := flag.Int("parallel", 0, "worker goroutines for -exp domino's (interval, scheme) cells (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "worker goroutines for -exp domino/avail cells (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "override every -exp avail cell's fault-plan seed (0 = per-cell seeds)")
 	verbose := flag.Bool("v", false, "log every run")
 	flag.Parse()
 
@@ -49,8 +52,12 @@ func main() {
 	case "logging":
 		err = bench.LoggingRecoveryDemo(os.Stdout, cfg, 3,
 			sim.Duration(*crashAt/time.Nanosecond), 300*sim.Millisecond)
+	case "avail":
+		err = bench.AvailabilityExperimentSeeded(os.Stdout, cfg, *quick,
+			bench.NewRunner(*parallel, prog), *seed)
 	default:
-		err = fmt.Errorf("unknown experiment %q", *exp)
+		fmt.Fprintf(os.Stderr, "chkrecover: unknown experiment %q\nusage: chkrecover -exp coord|domino|logging|avail [flags]\n", *exp)
+		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chkrecover:", err)

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestAvailabilityExperimentParallelDeterminism: E12's table is assembled
+// from per-cell results whose fault plans derive from the cells' coordinate
+// seeds, so the output must be byte-identical at any worker count.
+func TestAvailabilityExperimentParallelDeterminism(t *testing.T) {
+	cfg := par.DefaultConfig()
+	var serial, parallel bytes.Buffer
+	if err := AvailabilityExperiment(&serial, cfg, true, NewRunner(1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AvailabilityExperiment(&parallel, cfg, true, NewRunner(8, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("E12 output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("E12 produced no output")
+	}
+}

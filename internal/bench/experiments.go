@@ -41,6 +41,8 @@ func RunExperiment(w io.Writer, name string, cfg par.Config, quick bool, r *Runn
 		return ScalingExperiment(w, cfg, quick, r)
 	case "domino":
 		return DominoExperiment(w, cfg, quick, r)
+	case "avail":
+		return AvailabilityExperiment(w, cfg, quick, r)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q", name)
 	}

@@ -187,7 +187,11 @@ func (r *Runner) ForEach(ctx context.Context, cells []Cell, fn func(ctx context.
 				err := fn(dispatch, i, c)
 				r.recordCell(c, time.Since(start))
 				if err != nil {
-					errs[i] = err
+					// Every failure names its cell and carries the cell's
+					// seed: a fault- or seed-dependent failure is replayable
+					// from the message alone (%w keeps context.Canceled and
+					// friends visible to errors.Is).
+					errs[i] = fmt.Errorf("%s (seed %#x): %w", c.Name(), c.Seed(), err)
 					stopDispatch()
 				}
 			}
@@ -265,7 +269,7 @@ func (r *Runner) MeasureRows(ctx context.Context, cfg par.Config, wls []apps.Wor
 			MaxCheckpoints: ckpts,
 		})
 		if err != nil {
-			return fmt.Errorf("bench: %s under %v: %w", wl.Name, v, err)
+			return err // ForEach adds the cell name and seed
 		}
 		got := float64(res.Ckpt.Rounds)
 		if !v.Coordinated() {
@@ -354,7 +358,7 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg par.Config, wls []apps.Workl
 			MaxCheckpoints: ckpts,
 		})
 		if err != nil {
-			return fmt.Errorf("bench: %s: %w", c.Name(), err)
+			return err // ForEach adds the cell name and seed
 		}
 		out[i] = MatrixResult{Cell: c, Res: res}
 		r.Prog.logf("%-28s %8.2fs", c.Name(), res.Exec.Seconds())

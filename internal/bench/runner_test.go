@@ -236,8 +236,13 @@ func TestForEachLowestIndexErrorWins(t *testing.T) {
 		}
 		return fmt.Errorf("cell %d failed", i)
 	})
-	if err == nil || err.Error() != "cell 0 failed" {
+	if err == nil || !strings.HasSuffix(err.Error(), "cell 0 failed") {
 		t.Fatalf("err = %v, want cell 0's error", err)
+	}
+	// The wrapper names the failing cell and its replay seed.
+	want := fmt.Sprintf("%s (seed %#x)", cells[0].Name(), cells[0].Seed())
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want it to contain %q", err, want)
 	}
 }
 

@@ -287,13 +287,41 @@ const (
 // gate if the application is waiting (CIC). Basic checkpoints re-arm the
 // node's timer from write completion, inheriting independent checkpointing's
 // natural drift.
+//
+// A write that fails through the retry budget (storage outage) skips the
+// checkpoint: the closed interval's edges merge back into the live set so
+// they ride with the next durable checkpoint, and basic timers re-arm.
+// Skipping a *forced* checkpoint weakens the induced-consistency guarantee
+// for the duration of the outage — the index already jumped, but no durable
+// checkpoint backs it — which is the standard CIC degradation under storage
+// failure; the skip counter surfaces how often it happened.
 func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gate *sim.Gate) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		s := cn.s
 		data := encodeCkpt(k, deps, state, lib)
 		wsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("index", int64(k))
-		ckpt.WriteSegmented(p, cn.n, cicPath(cn.n.ID, k), data, false)
+		err := ckpt.WriteSegmentedChecked(p, cn.n, cicPath(cn.n.ID, k), data, false)
 		wsp.End()
+		if err != nil {
+			s.stats.SkippedCkpts++
+			s.m.Obs.Add(cn.n.ID, "ckpt.skipped", 1)
+			for _, d := range deps {
+				cn.deps[d] = struct{}{}
+			}
+			if kind == kindBasic {
+				cn.taken-- // the budget counts durable checkpoints only
+			}
+			if gate != nil {
+				gate.Open()
+			}
+			if kind == kindBasic {
+				cn.busy = false
+				if s.opt.Interval > 0 {
+					cn.n.M.Eng.After(s.opt.Interval, cn.timerFire)
+				}
+			}
+			return
+		}
 		s.m.Obs.Add(cn.n.ID, "ckpt.state_bytes", int64(len(state)))
 		s.m.Obs.InstantArg(cn.n.ID, obs.TidDaemon, "ckpt.commit", "index", int64(k))
 		s.stats.StateBytes += int64(len(state))

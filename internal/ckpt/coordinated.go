@@ -33,6 +33,16 @@ import (
 //  5. On all acks the coordinator durably writes the round record (the
 //     commit point), then broadcasts commit; nodes garbage-collect the
 //     previous round's files.
+//
+// Abort-and-retry: a participant whose durable write fails through its retry
+// budget nacks instead of acking; the coordinator then broadcasts an abort
+// (participants discard round state, release quarantined messages and
+// unblock their applications) and retries the round after a capped backoff.
+// The retry reuses the SAME round number under a bumped attempt generation:
+// round numbers map to the two file slots by parity, so retrying under r+1
+// would overwrite the slot holding the last committed round — the one
+// recovery depends on. Every control message carries the attempt so stale
+// traffic from aborted attempts filters out on comparison.
 type coordinated struct {
 	v     Variant
 	opt   Options
@@ -41,11 +51,14 @@ type coordinated struct {
 
 	round          int // last initiated round
 	committedRound int
+	attempt        int // initiation generation, bumped per (re)initiation
 	acks           map[int]bool
 	roundStart     sim.Time
 	stopped        bool
 	commitBusy     bool
 	pendingStart   bool // the cadence timer fired while a round was in flight
+	retryPending   bool // an aborted round is waiting out its backoff
+	abortStreak    int  // consecutive aborts of the current round number
 
 	stats   Stats
 	records []Record
@@ -101,24 +114,72 @@ func (s *coordinated) startRound() {
 	if s.opt.MaxCheckpoints > 0 && s.round-s.opt.StartRound >= s.opt.MaxCheckpoints {
 		return
 	}
-	if s.round != s.committedRound {
-		s.pendingStart = true // previous round still in flight
+	if s.round != s.committedRound || s.retryPending {
+		s.pendingStart = true // previous round still in flight or backing off
 		return
 	}
 	if s.opt.Interval > 0 {
 		s.m.Eng.After(s.opt.Interval, s.startRound)
 	}
-	s.round++
+	s.initiateRound(s.round + 1)
+}
+
+// initiateRound broadcasts the checkpoint requests of one attempt at the
+// round; the cadence timer is managed by startRound, so the abort-retry path
+// can re-initiate without double-arming it.
+func (s *coordinated) initiateRound(round int) {
+	s.round = round
+	s.attempt++
 	s.roundStart = s.m.Eng.Now()
 	s.acks = make(map[int]bool)
 	s.pending = nil
-	s.roundSpan = s.m.Obs.Start(0, obs.TidCoord, "ckpt.round").WithArg("round", int64(s.round))
+	s.roundSpan = s.m.Obs.Start(0, obs.TidCoord, "ckpt.round").WithArg("round", int64(round))
 	s.m.Obs.Add(0, "ckpt.marker_rounds", 1)
 	coord := s.m.Nodes[0]
 	for i := range s.nodes {
 		s.proto(1)
-		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCkptReq{Round: s.round}, sizeCtl)
+		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCkptReq{Round: round, Attempt: s.attempt}, sizeCtl)
 	}
+}
+
+// onNack runs at the coordinator when a participant reports that its durable
+// write failed through its retry budget.
+func (s *coordinated) onNack(round, attempt int) {
+	if attempt != s.attempt || round != s.round || s.round == s.committedRound {
+		return // stale: the attempt already aborted or committed
+	}
+	s.abortRound()
+}
+
+// abortRound cancels the in-flight attempt and schedules a retry of the same
+// round number after a capped, jittered backoff that grows with consecutive
+// aborts. Participants discard their round state on the abort broadcast; the
+// retry rewrites both slot files from scratch, so no partial durable state
+// survives an aborted attempt.
+func (s *coordinated) abortRound() {
+	round, attempt := s.round, s.attempt
+	s.stats.RoundsAborted++
+	s.m.Obs.Add(0, "ckpt.rounds_aborted", 1)
+	s.m.Obs.InstantArg(0, obs.TidCoord, "ckpt.abort", "round", int64(round))
+	s.roundSpan.End()
+	s.roundSpan = obs.Span{}
+	s.pending = nil
+	s.commitBusy = false
+	s.round = s.committedRound
+	s.retryPending = true
+	s.abortStreak++
+	coord := s.m.Nodes[0]
+	for i := range s.nodes {
+		s.proto(1)
+		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgAbort{Round: round, Attempt: attempt}, sizeCtl)
+	}
+	s.m.Eng.After(s.m.Backoff(s.abortStreak), func() {
+		s.retryPending = false
+		if s.stopped {
+			return // the workload finished while the round was backing off
+		}
+		s.initiateRound(round)
+	})
 }
 
 func (s *coordinated) proto(n int) {
@@ -127,8 +188,8 @@ func (s *coordinated) proto(n int) {
 }
 
 // onAck runs at the coordinator when a node's ack arrives.
-func (s *coordinated) onAck(ackRound, from int) {
-	if ackRound != s.round || s.acks[from] {
+func (s *coordinated) onAck(ackRound, ackAttempt, from int) {
+	if ackRound != s.round || ackAttempt != s.attempt || s.acks[from] {
 		return
 	}
 	s.acks[from] = true
@@ -137,19 +198,29 @@ func (s *coordinated) onAck(ackRound, from int) {
 	}
 	// Phase 2: durably record the round (the commit point), then broadcast.
 	s.commitBusy = true
-	round := s.round
+	round, attempt := s.round, s.attempt
 	s.nodes[0].jobs.Put(func(p *sim.Proc) {
 		w := newMetaRecord(round)
-		s.nodes[0].n.StorageCall(p, storage.Request{
+		reply := s.nodes[0].n.StorageCallRetry(p, storage.Request{
 			Op: storage.OpWrite, Path: coordMetaPath, Data: w, Durable: true,
 		})
-		s.commitRound(round)
+		if attempt != s.attempt || s.round == s.committedRound {
+			return // the attempt aborted while the meta write was in flight
+		}
+		if reply.Err != nil {
+			// The commit point itself could not be made durable: the round
+			// never happened. Abort so the participants release their state.
+			s.abortRound()
+			return
+		}
+		s.commitRound(round, attempt)
 	})
 }
 
-func (s *coordinated) commitRound(round int) {
+func (s *coordinated) commitRound(round, attempt int) {
 	s.commitBusy = false
 	s.committedRound = round
+	s.abortStreak = 0
 	s.records = append(s.records, s.pending...)
 	s.pending = nil
 	s.stats.Rounds++
@@ -160,7 +231,7 @@ func (s *coordinated) commitRound(round int) {
 	coord := s.m.Nodes[0]
 	for i := range s.nodes {
 		s.proto(1)
-		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCommit{Round: round}, sizeCtl)
+		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCommit{Round: round, Attempt: attempt}, sizeCtl)
 	}
 	if s.pendingStart {
 		s.pendingStart = false
@@ -174,6 +245,7 @@ type coordNode struct {
 	n *par.Node
 
 	round        int // active round, 0 when idle
+	attempt      int // attempt generation of the last round joined
 	snapshotDone bool
 	markerSeen   []bool
 	markersLeft  int
@@ -203,26 +275,38 @@ func (cn *coordNode) daemonLoop(p *sim.Proc) {
 func (cn *coordNode) hook(env *fabric.Envelope) bool {
 	switch msg := env.Payload.(type) {
 	case msgCkptReq:
-		if msg.Round > cn.s.committedRound && cn.round == 0 {
-			cn.beginRound(msg.Round)
+		if msg.Round > cn.s.committedRound && msg.Attempt > cn.attempt {
+			if cn.round != 0 {
+				cn.abortLocal() // a newer attempt supersedes the one we are in
+			}
+			cn.beginRound(msg.Round, msg.Attempt)
 		}
 		return true
 	case msgMarker:
-		if msg.Round <= cn.s.committedRound && msg.Round != cn.round {
-			return true // stale marker from an already-committed round
+		if msg.Attempt < cn.attempt || (msg.Attempt == cn.attempt && cn.round == 0) {
+			return true // stale marker from an attempt already over locally
 		}
-		if cn.round != 0 && msg.Round == cn.round+1 {
-			// A marker of the next round can outrun our commit message (they
-			// come from different senders, so FIFO does not order them). The
-			// coordinator only starts round r+1 after round r committed, so
-			// the marker itself proves the commit: finish locally first.
-			cn.finishRound()
+		if cn.round != 0 && msg.Attempt > cn.attempt {
+			if msg.Round == cn.round+1 {
+				// A marker of the next round can outrun our commit message
+				// (they come from different senders, so FIFO does not order
+				// them). The coordinator only starts round r+1 after round r
+				// committed, so the marker itself proves the commit: finish
+				// locally first.
+				cn.finishRound()
+			} else {
+				// A peer is already in a newer attempt of our round: its
+				// marker outran the coordinator's abort. The abort is proven;
+				// discard our attempt and join the new one below.
+				cn.abortLocal()
+			}
 		}
 		if cn.round == 0 {
-			cn.beginRound(msg.Round) // marker outran the request
+			cn.beginRound(msg.Round, msg.Attempt) // marker outran the request
 		}
-		if msg.Round != cn.round {
-			panic(fmt.Sprintf("ckpt: node %d marker for round %d during round %d", cn.n.ID, msg.Round, cn.round))
+		if msg.Round != cn.round || msg.Attempt != cn.attempt {
+			panic(fmt.Sprintf("ckpt: node %d marker for round %d/%d during round %d/%d",
+				cn.n.ID, msg.Round, msg.Attempt, cn.round, cn.attempt))
 		}
 		if !cn.markerSeen[msg.From] {
 			cn.markerSeen[msg.From] = true
@@ -231,19 +315,27 @@ func (cn *coordNode) hook(env *fabric.Envelope) bool {
 		}
 		return true
 	case msgCommit:
-		if cn.round == msg.Round {
+		if cn.round == msg.Round && cn.attempt == msg.Attempt {
 			cn.finishRound()
 		}
 		// No garbage collection needed: the slot of round-1 is overwritten
 		// by round+1's files.
 		return true
+	case msgAbort:
+		if cn.round == msg.Round && cn.attempt == msg.Attempt {
+			cn.abortLocal()
+		}
+		return true
 	case msgToken:
-		if cn.round == msg.Round && cn.tokenGate != nil {
+		if cn.round == msg.Round && cn.attempt == msg.Attempt && cn.tokenGate != nil {
 			cn.tokenGate.Open()
 		}
 		return true
 	case msgAck:
-		cn.s.onAck(msg.Round, msg.From)
+		cn.s.onAck(msg.Round, msg.Attempt, msg.From)
+		return true
+	case msgNack:
+		cn.s.onNack(msg.Round, msg.Attempt)
 		return true
 	case *mp.Message:
 		return cn.hookAppMsg(env, msg)
@@ -281,12 +373,40 @@ func (cn *coordNode) finishRound() {
 	}
 }
 
-func (cn *coordNode) beginRound(round int) {
+// abortLocal discards the node's state for an aborted attempt: quarantined
+// messages return to the application in arrival order (per-sender FIFO is
+// preserved — once a sender's messages start quarantining, all its later
+// ones do too until the snapshot), gates open so blocked processes resume,
+// and stale jobs of the attempt recognize themselves by the round/attempt
+// mismatch and fall through.
+func (cn *coordNode) abortLocal() {
+	if cn.round == 0 {
+		return
+	}
+	cn.syncSpan.End()
+	cn.syncSpan = obs.Span{}
+	for _, env := range cn.quarantine {
+		cn.n.AppBox.Put(env)
+	}
+	cn.quarantine = nil
+	cn.chanLog = nil
+	cn.stateBuf = nil
+	cn.round = 0
+	if cn.appGate != nil {
+		cn.appGate.Open()
+	}
+	if cn.tokenGate != nil {
+		cn.tokenGate.Open() // unstick an NBMS write job parked on the token
+	}
+}
+
+func (cn *coordNode) beginRound(round, attempt int) {
 	if cn.round != 0 {
 		panic(fmt.Sprintf("ckpt: node %d beginRound(%d) while round %d active", cn.n.ID, round, cn.round))
 	}
 	n := len(cn.s.nodes)
 	cn.round = round
+	cn.attempt = attempt
 	cn.snapshotDone = false
 	cn.markerSeen = make([]bool, n)
 	cn.markersLeft = n - 1
@@ -309,7 +429,7 @@ func (cn *coordNode) beginRound(round int) {
 	// Either the application is running or it has not been (re)launched yet
 	// (recovery in progress); in both cases the action runs at its first
 	// safe point.
-	cn.n.PostAction(ckptAction{cn: cn, round: round})
+	cn.n.PostAction(ckptAction{cn: cn, round: round, attempt: attempt})
 }
 
 // onAppExit completes the node's part of an in-flight round when its
@@ -322,14 +442,17 @@ func (cn *coordNode) onAppExit() {
 
 // ckptAction runs in the application process at its next safe point.
 type ckptAction struct {
-	cn    *coordNode
-	round int
+	cn      *coordNode
+	round   int
+	attempt int
 }
 
 // Run takes the local tentative checkpoint at the application's safe point.
 func (a ckptAction) Run(p *sim.Proc, n *par.Node) {
-	if a.cn.round != a.round {
-		return // round was torn down (crash) before the app reached a safe point
+	if a.cn.round != a.round || a.cn.attempt != a.attempt {
+		// The round was torn down (crash or abort) before the app reached a
+		// safe point; a retried attempt posts its own fresh action.
+		return
 	}
 	a.cn.takeTentative(p, a.round)
 }
@@ -341,7 +464,9 @@ func (a ckptAction) Run(p *sim.Proc, n *par.Node) {
 func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 	n := cn.n
 	s := cn.s
+	attempt := cn.attempt
 	cn.syncSpan.End() // reached the local safe point
+	cn.syncSpan = obs.Span{}
 	var start sim.Time
 	var blockedSpan obs.Span
 	if p != nil {
@@ -356,6 +481,12 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 		p.Sleep(d)
 		msp.End()
 		s.stats.MemCopyTime += d
+	}
+	if cn.round != round || cn.attempt != attempt {
+		// The attempt aborted during the memory copy; the abort already
+		// released the quarantine and the application, so just discard.
+		blockedSpan.End()
+		return
 	}
 	cn.stateBuf = state
 	cn.snapshotDone = true
@@ -378,10 +509,10 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 			continue
 		}
 		s.proto(1)
-		n.Send(p, fabric.NodeID(dst), par.PortDaemon, msgMarker{Round: round, From: n.ID}, sizeCtl)
+		n.Send(p, fabric.NodeID(dst), par.PortDaemon, msgMarker{Round: round, Attempt: attempt, From: n.ID}, sizeCtl)
 	}
 	cn.maybeFinishLogging()
-	cn.jobs.Put(cn.writeStateJob(round, state))
+	cn.jobs.Put(cn.writeStateJob(round, attempt, state, cn.tokenGate, cn.appGate))
 	if p == nil {
 		return
 	}
@@ -395,18 +526,36 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 }
 
 // writeStateJob writes the buffered state durably; in NBMS it first waits
-// for the staggering token and passes it on afterwards.
-func (cn *coordNode) writeStateJob(round int, state []byte) func(p *sim.Proc) {
+// for the staggering token and passes it on afterwards. The gates are
+// captured at job creation: an abort replaces them, and abortLocal opens the
+// old ones so a parked job unblocks, notices the attempt changed, and falls
+// through. A write failure that survives the retry budget nacks the
+// coordinator, which aborts the round.
+func (cn *coordNode) writeStateJob(round, attempt int, state []byte, tokenGate, appGate *sim.Gate) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		s := cn.s
 		if s.v == CoordNBMS {
 			tsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.token_wait").WithArg("round", int64(round))
-			cn.tokenGate.Wait(p)
+			tokenGate.Wait(p)
 			tsp.End()
 		}
+		if cn.round != round || cn.attempt != attempt {
+			return // aborted while queued or waiting for the token
+		}
 		wsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("round", int64(round))
-		writeSegmented(p, cn.n, coordStatePath(round, cn.n.ID), state, true)
+		err := writeSegmentedChecked(p, cn.n, coordStatePath(round, cn.n.ID), state, true)
 		wsp.End()
+		if err != nil {
+			if cn.round == round && cn.attempt == attempt {
+				s.m.Obs.Add(cn.n.ID, "faults.ckpt_write_failed", 1)
+				s.proto(1)
+				cn.n.Send(p, 0, par.PortDaemon, msgNack{Round: round, Attempt: attempt, From: cn.n.ID}, sizeCtl)
+			}
+			return
+		}
+		if cn.round != round || cn.attempt != attempt {
+			return // aborted during the write; the retry rewrites the slot
+		}
 		s.m.Obs.Add(cn.n.ID, "ckpt.state_bytes", int64(len(state)))
 		s.stats.StateBytes += int64(len(state))
 		s.pending = append(s.pending, Record{
@@ -414,12 +563,12 @@ func (cn *coordNode) writeStateJob(round int, state []byte) func(p *sim.Proc) {
 		})
 		cn.stateWritten = true
 		if s.v == CoordNB {
-			cn.appGate.Open()
+			appGate.Open()
 		}
 		if s.v == CoordNBMS {
 			if next := cn.n.ID + 1; next < len(s.nodes) {
 				s.proto(1)
-				cn.n.Send(p, fabric.NodeID(next), par.PortDaemon, msgToken{Round: round}, sizeCtl)
+				cn.n.Send(p, fabric.NodeID(next), par.PortDaemon, msgToken{Round: round, Attempt: attempt}, sizeCtl)
 			}
 		}
 		cn.maybeAck(p, round)
@@ -433,26 +582,48 @@ func (cn *coordNode) maybeFinishLogging() {
 		return
 	}
 	cn.chanQueued = true
-	round := cn.round
+	round, attempt := cn.round, cn.attempt
 	logCopy := cn.chanLog
 	if len(logCopy) == 0 {
 		// An empty channel: delete any stale log left in this slot by round
-		// round-2 (recovery treats a missing log file as empty).
+		// round-2 (recovery treats a missing log file as empty). The delete
+		// must succeed — a stale log in the slot would replay round-2's
+		// channel messages on recovery — so a persistent failure nacks too.
 		cn.chanWritten = true
 		cn.jobs.Put(func(p *sim.Proc) {
-			cn.n.StorageCall(p, storage.Request{Op: storage.OpDelete, Path: coordChanPath(round, cn.n.ID)})
+			if cn.round != round || cn.attempt != attempt {
+				return
+			}
+			reply := cn.n.StorageCallRetry(p, storage.Request{Op: storage.OpDelete, Path: coordChanPath(round, cn.n.ID)})
+			if cn.round != round || cn.attempt != attempt {
+				return
+			}
+			if reply.Err != nil {
+				cn.nack(p, round, attempt)
+				return
+			}
 			cn.maybeAck(p, round)
 		})
 		return
 	}
 	cn.jobs.Put(func(p *sim.Proc) {
+		if cn.round != round || cn.attempt != attempt {
+			return
+		}
 		data := encodeChanLog(logCopy)
 		wsp := cn.s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.chan_write").WithArg("round", int64(round))
-		cn.n.StorageCall(p, storage.Request{
+		reply := cn.n.StorageCallRetry(p, storage.Request{
 			Op: storage.OpWrite, Path: coordChanPath(round, cn.n.ID),
 			Data: data, Durable: true,
 		})
 		wsp.End()
+		if cn.round != round || cn.attempt != attempt {
+			return
+		}
+		if reply.Err != nil {
+			cn.nack(p, round, attempt)
+			return
+		}
 		cn.s.stats.ChanBytes += int64(len(data))
 		for i := range cn.s.pending {
 			if cn.s.pending[i].Rank == cn.n.ID && cn.s.pending[i].Index == round {
@@ -464,11 +635,18 @@ func (cn *coordNode) maybeFinishLogging() {
 	})
 }
 
+// nack reports a persistent durable-write failure to the coordinator.
+func (cn *coordNode) nack(p *sim.Proc, round, attempt int) {
+	cn.s.m.Obs.Add(cn.n.ID, "faults.ckpt_write_failed", 1)
+	cn.s.proto(1)
+	cn.n.Send(p, 0, par.PortDaemon, msgNack{Round: round, Attempt: attempt, From: cn.n.ID}, sizeCtl)
+}
+
 func (cn *coordNode) maybeAck(p *sim.Proc, round int) {
 	if !cn.stateWritten || !cn.chanWritten || cn.acked {
 		return
 	}
 	cn.acked = true
 	cn.s.proto(1)
-	cn.n.Send(p, 0, par.PortDaemon, msgAck{Round: round, From: cn.n.ID}, sizeCtl)
+	cn.n.Send(p, 0, par.PortDaemon, msgAck{Round: round, Attempt: cn.attempt, From: cn.n.ID}, sizeCtl)
 }

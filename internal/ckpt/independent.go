@@ -251,13 +251,36 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 
 // writeJob writes checkpoint k durably, records it, re-arms the node's
 // timer, and opens gate if the application is waiting (Indep).
+//
+// When the write fails through the retry budget (storage outage), the
+// checkpoint is skipped rather than fatal: the closed interval's dependency
+// edges merge back into the live set so they ride with the next durable
+// checkpoint (conservative — the recovery-line search sees a superset of the
+// true edges), the index stays advanced (a sparse index sequence is legal),
+// and the timer re-arms so the node tries again next period.
 func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Gate) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		s := in.s
 		data := encodeIndepCkpt(k, deps, state, lib)
 		wsp := s.m.Obs.Start(in.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("index", int64(k))
-		writeSegmented(p, in.n, indepPath(in.n.ID, k), data, false)
+		err := writeSegmentedChecked(p, in.n, indepPath(in.n.ID, k), data, false)
 		wsp.End()
+		if err != nil {
+			s.stats.SkippedCkpts++
+			s.m.Obs.Add(in.n.ID, "ckpt.skipped", 1)
+			for _, d := range deps {
+				in.deps[d] = struct{}{}
+			}
+			in.taken-- // the budget counts durable checkpoints only
+			if gate != nil {
+				gate.Open()
+			}
+			in.busy = false
+			if s.opt.Interval > 0 {
+				in.n.M.Eng.After(s.opt.Interval, in.timerFire)
+			}
+			return
+		}
 		s.m.Obs.Add(in.n.ID, "ckpt.state_bytes", int64(len(state)))
 		s.m.Obs.InstantArg(in.n.ID, obs.TidDaemon, "ckpt.commit", "index", int64(k))
 		s.stats.StateBytes += int64(len(state))

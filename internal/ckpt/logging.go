@@ -67,7 +67,7 @@ func RecoverNode(m *par.Machine, w *mp.World, sch Scheme, rank int, factory func
 			prog = factory(rank) // no checkpoint yet: restart from scratch
 			consumed = make([]uint64, m.NumNodes())
 		} else {
-			reply := node.StorageCall(p, storage.Request{Op: storage.OpRead, Path: indepPath(rank, latest)})
+			reply := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: indepPath(rank, latest)})
 			if reply.Err != nil {
 				panic(fmt.Sprintf("ckpt: node %d checkpoint %d unreadable: %v", rank, latest, reply.Err))
 			}

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/fabric"
@@ -57,7 +58,7 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 		node0 := m.Nodes[0]
 		round := 0
 		msp := m.Obs.Start(0, obs.TidCoord, "recover.read_meta")
-		reply := node0.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordMetaPath})
+		reply := node0.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordMetaPath})
 		msp.End()
 		if reply.Err == nil {
 			r, err := parseMetaRecord(reply.Data)
@@ -65,6 +66,12 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 				panic(err)
 			}
 			round = r
+		} else if !errors.Is(reply.Err, storage.ErrNotFound) {
+			// A missing meta record means no round ever committed; anything
+			// else (the server still unavailable through the retry budget)
+			// must not be mistaken for that — it would silently discard every
+			// committed checkpoint.
+			panic(fmt.Sprintf("ckpt: recovery: cannot read commit record: %v", reply.Err))
 		}
 		rep.Round = round
 		opt.StartRound = round
@@ -80,14 +87,14 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 				prog := factory(rank)
 				node := m.Nodes[rank]
 				if round > 0 {
-					st := node.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordStatePath(round, rank)})
+					st := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordStatePath(round, rank)})
 					if st.Err != nil {
 						panic(fmt.Sprintf("ckpt: recovery: missing state of rank %d round %d: %v", rank, round, st.Err))
 					}
 					prog.Restore(st.Data)
 					rep.StateBytes += int64(len(st.Data))
 					var msgs []*mp.Message
-					cl := node.StorageCall(p, storage.Request{Op: storage.OpRead, Path: coordChanPath(round, rank)})
+					cl := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordChanPath(round, rank)})
 					if cl.Err == nil {
 						var err error
 						if msgs, err = decodeChanLog(cl.Data); err != nil {

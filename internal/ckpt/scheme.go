@@ -201,6 +201,16 @@ type Stats struct {
 	// are excluded from Checkpoints so overhead normalization is not skewed.
 	ForcedCkpts int
 	FinalCkpts  int
+
+	// Fault-degradation counters, non-zero only under injected faults.
+	// RoundsAborted counts coordinated 2PC rounds aborted after a
+	// participant's durable write failed through its retry budget; each
+	// aborted round is retried with the same round number after a backoff.
+	// SkippedCkpts counts independent/CIC checkpoints abandoned because
+	// stable storage stayed unavailable; their dependency edges carry over
+	// to the node's next checkpoint so recovery lines remain correct.
+	RoundsAborted int
+	SkippedCkpts  int
 }
 
 // Scheme is a checkpointing protocol attached to a machine.
@@ -259,19 +269,48 @@ const (
 )
 
 // Control message payloads (delivered to PortDaemon and intercepted by the
-// node delivery hook).
+// node delivery hook). Coordinated messages carry the round's Attempt
+// generation: an aborted round is retried under the same round number (slot
+// parity must not advance past the committed round) with a bumped attempt,
+// and stale traffic from the aborted attempt is filtered by comparing it.
 type (
-	msgCkptReq struct{ Round int }
-	msgMarker  struct {
-		Round int
-		From  int
+	msgCkptReq struct {
+		Round   int
+		Attempt int
+	}
+	msgMarker struct {
+		Round   int
+		Attempt int
+		From    int
 	}
 	msgAck struct {
-		Round int
-		From  int
+		Round   int
+		Attempt int
+		From    int
 	}
-	msgCommit struct{ Round int }
-	msgToken  struct{ Round int }
+	msgCommit struct {
+		Round   int
+		Attempt int
+	}
+	msgToken struct {
+		Round   int
+		Attempt int
+	}
+	// msgNack reports a participant's durable-write failure (retries
+	// exhausted) to the coordinator, which aborts and later retries the
+	// round.
+	msgNack struct {
+		Round   int
+		Attempt int
+		From    int
+	}
+	// msgAbort cancels an in-flight round attempt on a participant: round
+	// state is discarded, quarantined messages are released, and blocked
+	// application processes resume.
+	msgAbort struct {
+		Round   int
+		Attempt int
+	}
 	// msgLogTrunc lets a checkpointed receiver truncate its senders' message
 	// logs: everything it consumed before the checkpoint can never be
 	// re-requested.
@@ -316,14 +355,26 @@ func padImage(state []byte, imageBytes int) []byte {
 // writeSegmented streams data durably to path from the node's daemon. When
 // reset is true any previous content at path (a reused slot file) is removed
 // first. The final request is synchronous: FIFO request ordering makes its
-// reply a barrier confirming every segment is durable.
+// reply a barrier confirming every segment is durable. This is the legacy
+// unchecked entry point; hardened writers use writeSegmentedChecked.
 func writeSegmented(p *sim.Proc, n *par.Node, path string, data []byte, reset bool) {
+	_ = writeSegmentedOnce(p, n, path, data, reset)
+}
+
+// writeSegmentedOnce performs one streaming attempt and verifies the final
+// synchronous reply: error-free and the expected durable size. A fire-and-
+// forget segment failed by an injected fault leaves the file short, which
+// the size check surfaces; a lost reply surfaces as a timeout under the
+// machine's retry policy (no timeout under the zero policy — the unarmed
+// path is byte-identical to the original pipeline).
+func writeSegmentedOnce(p *sim.Proc, n *par.Node, path string, data []byte, reset bool) error {
 	if reset {
 		n.StorageSend(p, storage.Request{Op: storage.OpDelete, Path: path})
 	}
+	timeout := n.M.Retry.Timeout
 	if len(data) == 0 {
-		n.StorageCall(p, storage.Request{Op: storage.OpWrite, Path: path, Durable: true})
-		return
+		reply, _ := n.StorageCallTimeout(p, storage.Request{Op: storage.OpWrite, Path: path, Durable: true}, timeout)
+		return reply.Err
 	}
 	for off := 0; off < len(data); off += writeSegment {
 		end := off + writeSegment
@@ -331,11 +382,42 @@ func writeSegmented(p *sim.Proc, n *par.Node, path string, data []byte, reset bo
 			end = len(data)
 		}
 		req := storage.Request{Op: storage.OpAppend, Path: path, Data: data[off:end], Durable: true}
-		if end == len(data) {
-			n.StorageCall(p, req)
-		} else {
+		if end < len(data) {
 			n.StorageSend(p, req)
+			continue
 		}
+		reply, _ := n.StorageCallTimeout(p, req, timeout)
+		if reply.Err != nil {
+			return reply.Err
+		}
+		if reply.Size != len(data) {
+			return fmt.Errorf("%w: short write of %s: %d of %d bytes durable",
+				storage.ErrUnavailable, path, reply.Size, len(data))
+		}
+	}
+	return nil
+}
+
+// writeSegmentedChecked is the hardened write pipeline: each verified
+// attempt that fails is retried from scratch (the slot is reset so partial
+// content cannot survive) with capped, jittered backoff under the machine's
+// retry policy. It returns the last error once attempts are exhausted; under
+// the zero policy a single attempt is made.
+func writeSegmentedChecked(p *sim.Proc, n *par.Node, path string, data []byte, reset bool) error {
+	attempts := n.M.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		err := writeSegmentedOnce(p, n, path, data, reset || attempt > 0)
+		if err == nil {
+			return nil
+		}
+		if attempt+1 >= attempts {
+			return err
+		}
+		n.M.NoteRetry(n.ID)
+		p.Sleep(n.M.Backoff(attempt + 1))
 	}
 }
 
@@ -349,6 +431,12 @@ func IndepCheckpointPath(rank, index int) string { return indepPath(rank, index)
 // to stable storage as pipelined append segments, the last one synchronous.
 func WriteSegmented(p *sim.Proc, n *par.Node, path string, data []byte, reset bool) {
 	writeSegmented(p, n, path, data, reset)
+}
+
+// WriteSegmentedChecked exposes the hardened pipeline (verified final size,
+// machine retry policy, error on exhaustion) to external protocol families.
+func WriteSegmentedChecked(p *sim.Proc, n *par.Node, path string, data []byte, reset bool) error {
+	return writeSegmentedChecked(p, n, path, data, reset)
 }
 
 // PadImage exposes the process-image padding applied to every checkpointed

@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps"
 	_ "repro/internal/cic" // registers the CIC and CIC_M variants with ckpt.New
 	"repro/internal/ckpt"
+	"repro/internal/faults"
 	"repro/internal/mp"
 	"repro/internal/obs"
 	"repro/internal/par"
@@ -39,6 +40,13 @@ type Config struct {
 	// the run. The default (nil) disables all instrumentation at zero cost
 	// and — by construction — leaves the virtual schedule untouched.
 	Obs *obs.Observer
+
+	// Faults, when non-nil, arms the deterministic fault-injection plan on
+	// the machine before launch and, when the plan makes links lossy, slides
+	// the ack/retransmit transport beneath the message layer. The default
+	// (nil) leaves every fault hook unarmed: the run is byte-identical to a
+	// build without the faults package.
+	Faults *faults.Plan
 }
 
 // Default returns a configuration of the paper's testbed machine with no
@@ -70,6 +78,8 @@ type Result struct {
 	NetMsgs      int64        // total messages injected into the fabric
 	NetBytes     int64
 
+	Faults faults.Report // injected-fault and recovery-action tallies (zero when unarmed)
+
 	Records []ckpt.Record // committed checkpoints
 }
 
@@ -82,6 +92,10 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 	m := par.NewMachine(cfg.Machine)
 	defer m.Shutdown()
 	m.SetObserver(cfg.Obs)
+	var armed *faults.Armed
+	if cfg.Faults != nil {
+		armed = cfg.Faults.Arm(m)
+	}
 	var sch ckpt.Scheme
 	if cfg.CheckpointingOn() {
 		sch = ckpt.New(cfg.Scheme, ckpt.Options{
@@ -93,6 +107,9 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 		sch.Attach(m)
 	}
 	w := mp.NewWorld(m)
+	if armed != nil && armed.Lossy() {
+		w.EnableRetransmit(m.Retry.Base, m.Retry.Cap)
+	}
 	progs := make([]mp.Program, m.NumNodes())
 	for rank := range progs {
 		progs[rank] = wl.Make(rank, m.NumNodes())
@@ -121,6 +138,10 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 		res.Scheme = sch.Name()
 		res.Ckpt = sch.Stats()
 		res.Records = sch.Records()
+	}
+	if armed != nil {
+		res.Faults = armed.Report()
+		res.Faults.Retransmits = w.Retransmits()
 	}
 	return res, nil
 }

@@ -93,7 +93,16 @@ type Network struct {
 	// FIFO guarantee the message layer builds on.
 	sendSeq map[[2]NodeID]uint64
 	nextRcv map[[2]NodeID]uint64
-	held    map[[2]NodeID]map[uint64]*Envelope
+	held    map[[2]NodeID]map[uint64]arrival
+
+	// FaultHook, when set, is consulted once per remote Send and returns the
+	// fault verdict for that envelope's traversal: extra delivery delay, and
+	// whether the message is dropped before reaching its destination. A
+	// dropped envelope still traverses the path (its packets occupy links)
+	// and still advances the pair's arrival sequencing, so FIFO delivery of
+	// the surviving traffic is preserved. Installed by the fault-injection
+	// layer; nil — the default — leaves the data path untouched.
+	FaultHook func(env *Envelope) (delay sim.Duration, drop bool)
 
 	// TransitHook, when set, is told about every message forwarded through
 	// an intermediate node (software routing CPU accounting).
@@ -123,7 +132,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		deliver: make([]Handler, cfg.Nodes()+1),
 		sendSeq: make(map[[2]NodeID]uint64),
 		nextRcv: make(map[[2]NodeID]uint64),
-		held:    make(map[[2]NodeID]map[uint64]*Envelope),
+		held:    make(map[[2]NodeID]map[uint64]arrival),
 	}
 	addLink := func(a, b NodeID, lat sim.Duration, bw float64) {
 		n.links[[2]NodeID{a, b}] = &link{res: sim.NewResource(eng, 1), lat: lat, bw: bw}
@@ -224,6 +233,13 @@ func (n *Network) Send(sender *sim.Proc, env *Envelope) {
 	pair := [2]NodeID{env.Src, env.Dst}
 	n.sendSeq[pair]++
 	pairSeq := n.sendSeq[pair]
+	// The fault verdict is drawn at send time, in deterministic send order,
+	// so the injection stream does not depend on courier interleaving.
+	var faultDelay sim.Duration
+	var dropped bool
+	if n.FaultHook != nil {
+		faultDelay, dropped = n.FaultHook(env)
+	}
 	path := n.Path(env.Src, env.Dst)
 	hostHop := [2]NodeID{n.cfg.HostAttach, n.cfg.Host()}
 	n.eng.Spawn(fmt.Sprintf("courier:%d->%d#%d", env.Src, env.Dst, env.Seq), func(p *sim.Proc) {
@@ -265,24 +281,37 @@ func (n *Network) Send(sender *sim.Proc, env *Envelope) {
 				n.TransitHook(hop[1], env.Size)
 			}
 		}
-		n.arrive(pair, pairSeq, env)
+		if faultDelay > 0 {
+			p.Sleep(faultDelay)
+		}
+		n.arrive(pair, pairSeq, env, dropped)
 	})
+}
+
+// arrival is one courier completion awaiting in-order delivery. Dropped
+// arrivals advance the sequence without a handoff: the envelope is lost, but
+// later traffic on the pair is not stalled behind it.
+type arrival struct {
+	env     *Envelope
+	dropped bool
 }
 
 // arrive re-sequences packetized arrivals so each (src,dst) pair delivers in
 // send order, then hands envelopes to the destination.
-func (n *Network) arrive(pair [2]NodeID, pairSeq uint64, env *Envelope) {
+func (n *Network) arrive(pair [2]NodeID, pairSeq uint64, env *Envelope, dropped bool) {
 	expected := n.nextRcv[pair] + 1
 	if pairSeq != expected {
 		hm := n.held[pair]
 		if hm == nil {
-			hm = make(map[uint64]*Envelope)
+			hm = make(map[uint64]arrival)
 			n.held[pair] = hm
 		}
-		hm[pairSeq] = env
+		hm[pairSeq] = arrival{env: env, dropped: dropped}
 		return
 	}
-	n.handoff(env)
+	if !dropped {
+		n.handoff(env)
+	}
 	n.nextRcv[pair] = expected
 	for {
 		next, ok := n.held[pair][n.nextRcv[pair]+1]
@@ -291,7 +320,9 @@ func (n *Network) arrive(pair [2]NodeID, pairSeq uint64, env *Envelope) {
 		}
 		delete(n.held[pair], n.nextRcv[pair]+1)
 		n.nextRcv[pair]++
-		n.handoff(next)
+		if !next.dropped {
+			n.handoff(next.env)
+		}
 	}
 }
 

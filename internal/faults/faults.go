@@ -1,0 +1,371 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seed-driven Plan that any experiment can arm on a par.Machine to subject a
+// run to transient stable-storage faults (per-request errors and server
+// outage windows), flaky fabric links (probabilistic drops and delays, plus
+// scheduled drop bursts on chosen hops), and Poisson-scheduled node crashes
+// with repair delays.
+//
+// Every random decision is drawn from the repo's splitmix64 rng package, on
+// streams derived from the plan's single seed, so a run replays
+// byte-identically under the bench runner's per-cell seeds — a fault-induced
+// failure is reproducible from the seed printed in the error message.
+//
+// The injection points are nil-guarded hooks on the layers below
+// (storage.Server.FaultHook, fabric.Network.FaultHook, par.Node.Transport):
+// an unarmed machine takes the exact same code paths and produces the exact
+// same virtual schedule as before this package existed. Arming also installs
+// the machine's retry policy and deterministic backoff jitter, which the
+// hardened storage client (par.StorageCallRetry) and the checkpoint writers
+// consume.
+//
+// Only application data messages are ever dropped (mp.Droppable): checkpoint
+// protocol control, acks and storage traffic stay reliable, so faults
+// degrade the protocols instead of wedging them — the degradation itself
+// (aborted 2PC rounds, skipped independent checkpoints, retransmissions) is
+// what experiment E12 measures.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/mp"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Window is one interval of virtual time.
+type Window struct {
+	At  sim.Time
+	Dur sim.Duration
+}
+
+func (w Window) contains(t sim.Time) bool { return t >= w.At && t < w.At.Add(w.Dur) }
+
+// StorageFaults describes transient stable-storage failures: a per-request
+// error probability on data operations (write, append, commit, read) and
+// server outage windows during which every request fails, either scheduled
+// explicitly or generated as a Poisson process over the plan's horizon.
+type StorageFaults struct {
+	ErrProb    float64      // per data-request probability of a transient error
+	Outages    []Window     // explicitly scheduled unavailability windows
+	OutageMTTF sim.Duration // mean time between generated outages (0 = none)
+	OutageDur  sim.Duration // duration of each generated outage
+}
+
+// Burst is a scheduled window during which every application message
+// traversing the directed hop From→To is dropped.
+type Burst struct {
+	From, To int
+	Window
+}
+
+// LinkFaults describes a flaky interconnect for application data traffic.
+type LinkFaults struct {
+	DropProb  float64      // per-message drop probability
+	DelayProb float64      // per-message probability of an extra delivery delay
+	DelayMax  sim.Duration // uniform delay bound when a delay hits
+	Bursts    []Burst      // scheduled drop bursts on chosen hops
+}
+
+// Lossy reports whether the link plan can drop messages, in which case the
+// message layer's ack/retransmit transport must be armed.
+func (l LinkFaults) Lossy() bool { return l.DropProb > 0 || len(l.Bursts) > 0 }
+
+// Crashes describes Poisson-scheduled node failures.
+type Crashes struct {
+	MTTF         sim.Duration // per-node mean time to failure (0 disables crashes)
+	Repair       sim.Duration // repair delay before OnRepair runs
+	RepairJitter float64      // ± fraction of Repair drawn per crash
+	MaxCrashes   int          // total crash budget across nodes (0 = unlimited)
+	Total        bool         // escalate each crash to a total failure (CrashAll)
+}
+
+// Plan is a complete, deterministic fault schedule. The zero value injects
+// nothing. Arm it on a machine before the simulation starts.
+type Plan struct {
+	// Seed drives every random decision of the plan. Experiments pass the
+	// bench cell's seed so each cell replays independently of scheduling.
+	Seed uint64
+
+	// Horizon bounds the generated schedules (Poisson outages and crashes).
+	// Zero defaults to a minute of virtual time.
+	Horizon sim.Duration
+
+	Storage StorageFaults
+	Links   LinkFaults
+	Crashes Crashes
+
+	// Retry overrides the machine retry policy installed at Arm; the zero
+	// value installs par.DefaultRetryPolicy.
+	Retry par.RetryPolicy
+
+	// OnCrash replaces the default crash action (Machine.CrashNode, or
+	// CrashAll when Crashes.Total is set). OnRepair, if set, runs after the
+	// repair delay — experiments wire their recovery procedure here; without
+	// it the node simply stays down.
+	OnCrash  func(node int)
+	OnRepair func(node int)
+}
+
+// DefaultHorizon bounds generated fault schedules when the plan leaves
+// Horizon zero.
+const DefaultHorizon = 60 * sim.Second
+
+// Armed is a plan attached to a machine: resolved schedules plus injection
+// counters (also surfaced as "faults.*" metrics on the machine's observer).
+type Armed struct {
+	plan Plan
+	m    *par.Machine
+
+	storageRand *rng.RNG
+	linkRand    *rng.RNG
+	crashRand   *rng.RNG
+	retryRand   *rng.RNG
+
+	outages []Window
+	stopped bool
+
+	// Injection counters.
+	StorageErrors int64 // injected per-request errors
+	OutageHits    int64 // requests failed inside an outage window
+	Drops         int64 // application messages dropped
+	Delays        int64 // application messages delayed
+	CrashCount    int64 // node crashes fired
+}
+
+// Arm attaches the plan to m: it derives the per-subsystem random streams,
+// resolves the outage schedule, installs the storage and fabric fault hooks,
+// schedules the crash process, and installs the retry policy with
+// deterministic backoff jitter. Call before the simulation starts. The
+// caller is responsible for arming the message layer's retransmit transport
+// (mp.World.EnableRetransmit) when plan.Links.Lossy() — package core does
+// this automatically.
+func (pl Plan) Arm(m *par.Machine) *Armed {
+	root := rng.New(pl.Seed)
+	a := &Armed{
+		plan:        pl,
+		m:           m,
+		storageRand: rng.New(root.Uint64()),
+		linkRand:    rng.New(root.Uint64()),
+		crashRand:   rng.New(root.Uint64()),
+		retryRand:   rng.New(root.Uint64()),
+	}
+	if pl.Horizon <= 0 {
+		pl.Horizon = DefaultHorizon
+		a.plan.Horizon = DefaultHorizon
+	}
+
+	// Retry policy and deterministic backoff jitter for the hardened client.
+	policy := pl.Retry
+	if policy.Attempts <= 0 {
+		policy = par.DefaultRetryPolicy()
+	}
+	m.Retry = policy
+	m.Jitter = a.retryRand.Float64
+
+	a.armStorage()
+	a.armLinks()
+	a.armCrashes()
+
+	// Crash events scheduled beyond the workload's end must not fire into a
+	// finished machine.
+	m.OnAllAppsDone(func() { a.stopped = true })
+	return a
+}
+
+// armStorage resolves the outage schedule and installs the server hook.
+func (a *Armed) armStorage() {
+	sf := a.plan.Storage
+	a.outages = append(a.outages, sf.Outages...)
+	if sf.OutageMTTF > 0 && sf.OutageDur > 0 {
+		t := sim.Duration(0)
+		for {
+			t += sim.Duration(a.storageRand.ExpFloat64() * float64(sf.OutageMTTF))
+			if t > a.plan.Horizon {
+				break
+			}
+			a.outages = append(a.outages, Window{At: sim.Time(0).Add(t), Dur: sf.OutageDur})
+			t += sf.OutageDur
+		}
+	}
+	if len(a.outages) == 0 && sf.ErrProb <= 0 {
+		return
+	}
+	host := int(a.m.Cfg.Fabric.Host())
+	// One span per outage window on the host's trace, bracketed by events at
+	// the window edges (events only observe the clock; the schedule is fixed
+	// at arm time, so they perturb nothing).
+	if a.m.Obs.Enabled() {
+		for _, w := range a.outages {
+			w := w
+			a.m.Eng.At(w.At, func() {
+				sp := a.m.Obs.Start(host, obs.TidProto, "faults.outage")
+				a.m.Eng.After(w.Dur, sp.End)
+			})
+		}
+	}
+	a.m.Store.FaultHook = func(op storage.Op, path string) error {
+		now := a.m.Eng.Now()
+		for _, w := range a.outages {
+			if w.contains(now) {
+				a.OutageHits++
+				a.m.Obs.Add(host, "faults.outage_hits", 1)
+				return fmt.Errorf("%w: outage window", storage.ErrUnavailable)
+			}
+		}
+		if sf.ErrProb > 0 && dataOp(op) && a.storageRand.Float64() < sf.ErrProb {
+			a.StorageErrors++
+			a.m.Obs.Add(host, "faults.storage_errors", 1)
+			return fmt.Errorf("%w: injected fault on %s", storage.ErrUnavailable, path)
+		}
+		return nil
+	}
+}
+
+// dataOp selects the operations subject to per-request transient errors:
+// the data path plus commit. Deletes and metadata queries stay clean so
+// cleanup and recovery probing fail only during whole-server outages.
+func dataOp(op storage.Op) bool {
+	switch op {
+	case storage.OpWrite, storage.OpAppend, storage.OpCommit, storage.OpRead:
+		return true
+	}
+	return false
+}
+
+// armLinks installs the fabric hook. Only application data messages are
+// candidates (mp.Droppable); the fault verdict is drawn per message in send
+// order from the link stream.
+func (a *Armed) armLinks() {
+	lf := a.plan.Links
+	if !lf.Lossy() && lf.DelayProb <= 0 {
+		return
+	}
+	a.m.Net.FaultHook = func(env *fabric.Envelope) (sim.Duration, bool) {
+		if !mp.Droppable(env) {
+			return 0, false
+		}
+		src := int(env.Src)
+		now := a.m.Eng.Now()
+		for _, b := range lf.Bursts {
+			if b.contains(now) && a.onPath(env, b.From, b.To) {
+				a.Drops++
+				a.m.Obs.Add(src, "faults.dropped_msgs", 1)
+				return 0, true
+			}
+		}
+		if lf.DropProb > 0 && a.linkRand.Float64() < lf.DropProb {
+			a.Drops++
+			a.m.Obs.Add(src, "faults.dropped_msgs", 1)
+			return 0, true
+		}
+		if lf.DelayProb > 0 && a.linkRand.Float64() < lf.DelayProb {
+			d := sim.Duration(a.linkRand.Float64() * float64(lf.DelayMax))
+			if d > 0 {
+				a.Delays++
+				a.m.Obs.Add(src, "faults.delayed_msgs", 1)
+				return d, false
+			}
+		}
+		return 0, false
+	}
+}
+
+// onPath reports whether the envelope's route traverses the directed hop
+// from→to.
+func (a *Armed) onPath(env *fabric.Envelope, from, to int) bool {
+	for _, hop := range a.m.Net.Path(env.Src, env.Dst) {
+		if int(hop[0]) == from && int(hop[1]) == to {
+			return true
+		}
+	}
+	return false
+}
+
+// armCrashes schedules the per-node Poisson crash processes.
+func (a *Armed) armCrashes() {
+	cf := a.plan.Crashes
+	if cf.MTTF <= 0 {
+		return
+	}
+	for id := range a.m.Nodes {
+		a.scheduleCrash(id, a.nextGap(cf))
+	}
+}
+
+func (a *Armed) nextGap(cf Crashes) sim.Duration {
+	return sim.Duration(a.crashRand.ExpFloat64() * float64(cf.MTTF))
+}
+
+func (a *Armed) scheduleCrash(id int, after sim.Duration) {
+	cf := a.plan.Crashes
+	at := a.m.Eng.Now().Add(after)
+	if at > sim.Time(0).Add(a.plan.Horizon) {
+		return
+	}
+	a.m.Eng.At(at, func() {
+		if a.stopped || a.m.AppsLive() == 0 {
+			return
+		}
+		if cf.MaxCrashes > 0 && a.CrashCount >= int64(cf.MaxCrashes) {
+			return
+		}
+		a.CrashCount++
+		a.m.Obs.Add(id, "faults.crashes", 1)
+		a.m.Obs.InstantArg(id, obs.TidProto, "faults.crash", "node", int64(id))
+		switch {
+		case a.plan.OnCrash != nil:
+			a.plan.OnCrash(id)
+		case cf.Total:
+			a.m.CrashAll()
+		default:
+			a.m.CrashNode(id)
+		}
+		repair := cf.Repair
+		if cf.RepairJitter > 0 && repair > 0 {
+			repair += sim.Duration(float64(repair) * cf.RepairJitter * (2*a.crashRand.Float64() - 1))
+		}
+		a.m.Eng.After(repair, func() {
+			if a.stopped {
+				return
+			}
+			if a.plan.OnRepair != nil {
+				a.m.Obs.InstantArg(id, obs.TidProto, "faults.repair", "node", int64(id))
+				a.plan.OnRepair(id)
+			}
+			a.scheduleCrash(id, a.nextGap(cf))
+		})
+	})
+}
+
+// Report is the injection summary of one armed run, merged with the
+// machine-level retry counter by package core.
+type Report struct {
+	StorageErrors  int64 // injected per-request storage errors
+	OutageHits     int64 // requests failed inside outage windows
+	Drops          int64 // application messages dropped
+	Delays         int64 // application messages delayed
+	Crashes        int64 // node crashes fired
+	StorageRetries int64 // storage operations re-issued by the retry client
+	Retransmits    int64 // data messages re-sent by the mp transport
+}
+
+// Report snapshots the armed plan's counters (retries come from the
+// machine, retransmits from the message layer).
+func (a *Armed) Report() Report {
+	return Report{
+		StorageErrors:  a.StorageErrors,
+		OutageHits:     a.OutageHits,
+		Drops:          a.Drops,
+		Delays:         a.Delays,
+		Crashes:        a.CrashCount,
+		StorageRetries: a.m.StorageRetries,
+	}
+}
+
+// Lossy reports whether the armed plan can drop messages.
+func (a *Armed) Lossy() bool { return a.plan.Links.Lossy() }

@@ -45,6 +45,11 @@ type Message struct {
 	// sender-based message logging is active (zero otherwise). Receivers use
 	// it to suppress the duplicates a recovering sender re-transmits.
 	SSN uint64
+	// Wire is the reliable-transport sequence number per (sender,receiver)
+	// pair, assigned only when the world's retransmit layer is armed for runs
+	// over lossy links (zero otherwise — the unarmed wire format is
+	// unchanged).
+	Wire uint64
 }
 
 // Program is a distributed application: its Run method executes the rank's
@@ -68,6 +73,10 @@ type World struct {
 	// testbed's rendezvous-style transputer links; the receiver's consume
 	// returns the credit.
 	outstanding [][]int
+
+	// rel is the ack/retransmit layer, armed by EnableRetransmit for runs
+	// over lossy links; nil (the default) adds no messages and no cost.
+	rel *reliable
 }
 
 // creditToken is the wakeup delivered to a sender's mailbox when a credit it
@@ -280,6 +289,9 @@ func (e *Env) send(dst, tag int, data []byte) {
 	if e.node.LogSend != nil && dst != e.Rank {
 		e.ssnOut[dst]++
 		msg.SSN = e.ssnOut[dst]
+	}
+	if e.W.rel != nil && dst != e.Rank {
+		e.W.rel.onSend(e.Rank, dst, msg)
 	}
 	e.MsgsSent++
 	e.BytesSent += int64(len(data))

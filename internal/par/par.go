@@ -10,6 +10,7 @@
 package par
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/fabric"
@@ -118,6 +119,30 @@ type Action interface {
 	Run(p *sim.Proc, n *Node)
 }
 
+// RetryPolicy governs the storage client's fault tolerance: how many times a
+// failed or timed-out stable-storage request is re-issued, the per-attempt
+// reply deadline, and how the capped exponential backoff between attempts
+// grows. The zero value disables retries (a single attempt, no deadline) —
+// the unarmed default, under which StorageCallRetry behaves exactly like
+// StorageCall.
+type RetryPolicy struct {
+	Attempts int          // total attempts per operation (<= 1 means no retry)
+	Timeout  sim.Duration // per-attempt reply deadline (0 = wait forever)
+	Base     sim.Duration // backoff before the first retry
+	Cap      sim.Duration // upper bound on the exponential backoff
+}
+
+// DefaultRetryPolicy is the policy the fault-injection layer installs when a
+// plan arms a machine without overriding it.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		Attempts: 5,
+		Timeout:  10 * sim.Second,
+		Base:     100 * sim.Millisecond,
+		Cap:      2 * sim.Second,
+	}
+}
+
 // Machine is the simulated multicomputer.
 type Machine struct {
 	Eng   *sim.Engine
@@ -125,6 +150,18 @@ type Machine struct {
 	Net   *fabric.Network
 	Store *storage.Server
 	Nodes []*Node
+
+	// Retry governs StorageCallRetry and the checkpoint daemons' durable
+	// writes. The zero value (single attempt) is the unarmed default; the
+	// fault-injection layer installs a real policy when it arms the machine.
+	Retry RetryPolicy
+
+	// Jitter, when set, draws backoff jitter factors in [0,1) from the fault
+	// plan's deterministic stream; nil means unjittered backoff.
+	Jitter func() float64
+
+	// StorageRetries counts re-issued storage operations machine-wide.
+	StorageRetries int64
 
 	// Epoch is the incarnation number: bumped on every failure so that
 	// in-flight traffic from a previous incarnation is discarded on arrival.
@@ -235,6 +272,36 @@ func (m *Machine) AppsLive() int { return m.appsLive }
 // Run executes the simulation to completion.
 func (m *Machine) Run() error { return m.Eng.Run() }
 
+// Backoff returns the delay to sleep before retry attempt (1-based: the
+// first retry is attempt 1): capped exponential from the policy's base, with
+// equal jitter drawn from the deterministic fault stream when one is
+// installed.
+func (m *Machine) Backoff(attempt int) sim.Duration {
+	d := m.Retry.Base
+	if d <= 0 {
+		d = 100 * sim.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if m.Retry.Cap > 0 && d >= m.Retry.Cap {
+			break
+		}
+	}
+	if m.Retry.Cap > 0 && d > m.Retry.Cap {
+		d = m.Retry.Cap
+	}
+	if m.Jitter != nil {
+		d = d/2 + sim.Duration(float64(d/2)*m.Jitter())
+	}
+	return d
+}
+
+// NoteRetry counts one re-issued storage operation against node's metrics.
+func (m *Machine) NoteRetry(node int) {
+	m.StorageRetries++
+	m.Obs.Add(node, "faults.storage_retries", 1)
+}
+
 // Shutdown releases the goroutines of processes still parked when the
 // simulation ended (daemons, blocked processes after a deadlock). The machine
 // stays readable — results, stores and snapshots survive — but cannot be run
@@ -317,8 +384,17 @@ type Node struct {
 	// zero unless message logging is active).
 	OnConsume func(srcNode int, meta Piggyback, ssn uint64)
 
-	reqSeq  int
-	cpuDebt sim.Duration
+	// Transport, when set, intercepts application-port envelopes after the
+	// liveness checks and before any protocol hook: the message layer's
+	// reliable transport uses it to resequence, deduplicate and acknowledge
+	// traffic over lossy links. It returns the envelopes to deliver now, in
+	// order (empty = consumed or held for reordering). Runs in engine
+	// context, must not block, and is cleared on crash like every hook.
+	Transport func(env *fabric.Envelope) []*fabric.Envelope
+
+	reqSeq    int
+	cpuDebt   sim.Duration
+	abandoned map[int]bool // ids of timed-out storage calls whose replies are still due
 }
 
 // ResetCPUDebt discards routing-CPU debt accrued while the application was
@@ -344,6 +420,8 @@ func (n *Node) reset() {
 	n.LogSend = nil
 	n.Snap = nil
 	n.Lib = nil
+	n.Transport = nil
+	n.abandoned = nil
 }
 
 func (n *Node) crash() {
@@ -372,6 +450,19 @@ func (n *Node) deliver(env *fabric.Envelope) {
 	if !n.Alive || env.Inc != n.M.Epoch || env.SentAt < n.acceptAfter {
 		return // dead node or stale traffic from before its restart
 	}
+	if n.Transport != nil && env.Port == PortApp {
+		for _, e := range n.Transport(env) {
+			n.dispatch(e)
+		}
+		return
+	}
+	n.dispatch(env)
+}
+
+// dispatch runs the protocol hook and enqueues the envelope on its port. The
+// reliable transport re-enters here with envelopes released from its reorder
+// buffer.
+func (n *Node) dispatch(env *fabric.Envelope) {
 	if n.DeliverHook != nil && n.DeliverHook(env) {
 		return
 	}
@@ -437,6 +528,12 @@ type storageReply struct {
 	reply storage.Reply
 }
 
+// storageTimeout marks a storage call whose deadline expired before the
+// reply arrived; it is posted directly to the waiting daemon's mailbox.
+type storageTimeout struct {
+	id int
+}
+
 // StorageCall performs a stable-storage operation over the fabric: the
 // request (with its data) travels to the host, queues at the server, and
 // the reply returns to this node's daemon port. The calling process parks
@@ -445,6 +542,16 @@ type storageReply struct {
 // envelopes' queue positions only logically: selective receive leaves other
 // envelopes queued.
 func (n *Node) StorageCall(p *sim.Proc, req storage.Request) storage.Reply {
+	reply, _ := n.StorageCallTimeout(p, req, 0)
+	return reply
+}
+
+// StorageCallTimeout is StorageCall with a per-attempt deadline: if the reply
+// does not arrive within timeout (0 = wait forever) the call returns
+// ok=false and an ErrUnavailable reply; the late reply, when it eventually
+// arrives, is discarded by a later storage call on this node.
+func (n *Node) StorageCallTimeout(p *sim.Proc, req storage.Request, timeout sim.Duration) (storage.Reply, bool) {
+	n.drainAbandoned()
 	n.reqSeq++
 	id := n.reqSeq
 	me := fabric.NodeID(n.ID)
@@ -461,11 +568,73 @@ func (n *Node) StorageCall(p *sim.Proc, req storage.Request) storage.Reply {
 		})
 	}
 	n.Send(p, host, PortDaemon, req, len(req.Data))
+	settled := new(bool)
+	if timeout > 0 {
+		n.M.Eng.After(timeout, func() {
+			if !*settled {
+				n.DaemonBox.Put(&fabric.Envelope{
+					Src: me, Dst: me, Port: PortDaemon, Inc: epoch,
+					Payload: storageTimeout{id: id},
+				})
+			}
+		})
+	}
 	env := n.DaemonBox.Get(p, func(e *fabric.Envelope) bool {
+		if st, ok := e.Payload.(storageTimeout); ok {
+			return st.id == id
+		}
 		sr, ok := e.Payload.(storageReply)
 		return ok && sr.id == id
 	})
-	return env.Payload.(storageReply).reply
+	*settled = true
+	if _, ok := env.Payload.(storageTimeout); ok {
+		if n.abandoned == nil {
+			n.abandoned = make(map[int]bool)
+		}
+		n.abandoned[id] = true
+		return storage.Reply{Err: fmt.Errorf("%w: no reply within %v", storage.ErrUnavailable, timeout)}, false
+	}
+	return env.Payload.(storageReply).reply, true
+}
+
+// drainAbandoned discards replies of timed-out calls that arrived since the
+// last storage operation, so they cannot satisfy a future call's matcher.
+func (n *Node) drainAbandoned() {
+	for len(n.abandoned) > 0 {
+		env, ok := n.DaemonBox.TakeMatch(func(e *fabric.Envelope) bool {
+			sr, ok := e.Payload.(storageReply)
+			return ok && n.abandoned[sr.id]
+		})
+		if !ok {
+			return
+		}
+		delete(n.abandoned, env.Payload.(storageReply).id)
+	}
+}
+
+// StorageCallRetry is StorageCall hardened by the machine's retry policy:
+// transient failures (injected faults, timeouts) are re-issued with capped,
+// jittered exponential backoff. Definitive errors such as ErrNotFound are
+// returned immediately, and under the zero policy the behavior is exactly
+// StorageCall's.
+func (n *Node) StorageCallRetry(p *sim.Proc, req storage.Request) storage.Reply {
+	attempts := n.M.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var reply storage.Reply
+	for attempt := 0; ; attempt++ {
+		var ok bool
+		reply, ok = n.StorageCallTimeout(p, req, n.M.Retry.Timeout)
+		if ok && !errors.Is(reply.Err, storage.ErrUnavailable) {
+			return reply
+		}
+		if attempt+1 >= attempts {
+			return reply
+		}
+		n.M.NoteRetry(n.ID)
+		p.Sleep(n.M.Backoff(attempt + 1))
+	}
 }
 
 // StorageSend transmits a stable-storage request without waiting for a

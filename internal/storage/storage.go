@@ -36,6 +36,12 @@ const (
 // ErrNotFound is returned for reads, commits and stats of missing paths.
 var ErrNotFound = errors.New("storage: file not found")
 
+// ErrUnavailable is the transient-failure class: the fault-injection layer
+// wraps every injected storage error in it, and the retrying client re-issues
+// only requests that failed this way (ErrNotFound and friends are definitive
+// answers, not faults).
+var ErrUnavailable = errors.New("storage: server unavailable")
+
 // Request is one stable-storage operation. Done, if non-nil, is invoked in
 // server-process context when the operation completes.
 type Request struct {
@@ -83,6 +89,14 @@ type Server struct {
 	obs    *obs.Observer
 	obsPid int        // trace pid of the host machine
 	queued []sim.Time // submit times of queued requests, parallel to reqs
+
+	// FaultHook, when set, is consulted after a request's fixed overhead (the
+	// seek/protocol attempt) and before any data transfer or mutation; a
+	// non-nil error fails the request without touching either file area.
+	// Injected errors should wrap ErrUnavailable so the retrying client can
+	// tell them from definitive failures. Installed by the fault-injection
+	// layer; nil — the default — leaves the server fault-free.
+	FaultHook func(op Op, path string) error
 }
 
 // New creates the server and spawns its service process on eng.
@@ -173,6 +187,11 @@ func (s *Server) apply(p *sim.Proc, req Request) Reply {
 		p.Sleep(s.cfg.AppendOverhead)
 	default:
 		p.Sleep(s.cfg.MetaOverhead)
+	}
+	if s.FaultHook != nil {
+		if err := s.FaultHook(req.Op, req.Path); err != nil {
+			return Reply{Err: err}
+		}
 	}
 	switch req.Op {
 	case OpWrite, OpAppend:
@@ -265,3 +284,14 @@ func (s *Server) QueueLen() int { return s.reqs.Len() }
 
 // NumFiles returns the number of durable files.
 func (s *Server) NumFiles() int { return len(s.files) }
+
+// DurablePaths returns the sorted paths of the durable area (test and
+// diagnostic helper: asserting that an aborted round left no partial state).
+func (s *Server) DurablePaths() []string {
+	paths := make([]string, 0, len(s.files))
+	for path := range s.files {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
+}
