@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz vet ci
+.PHONY: build test race fuzz vet check ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,17 @@ fuzz:
 
 vet:
 	$(GO) vet ./...
+
+# Crash-recovery correctness oracle (cmd/chkcheck): every explorer cell is
+# crashed mid-run, recovered through its scheme's own protocol, audited
+# against the consistency invariants, and compared byte-for-byte with a
+# fault-free baseline. The quick sweep is the CI check-matrix job's matrix:
+# 224 cells covering all 7 schemes in every quarter of their runs. Any
+# failure prints the cell name and seed; CHECKFLAGS="-cell 'NAME'" replays
+# it, CHECKFLAGS=-full runs the 1008-cell overnight lattice.
+CHECKFLAGS ?= -quick
+check:
+	$(GO) run ./cmd/chkcheck $(CHECKFLAGS)
 
 # What the GitHub workflow runs (.github/workflows/ci.yml): the full suite
 # under the race detector, plus build, vet, and the fuzz smoke.

@@ -32,12 +32,18 @@
 //	chkbench -trace out.json                 # Chrome trace of one run (-app/-scheme/-ckpts)
 //	chkbench -metrics                        # overhead breakdown per scheme for -app
 //	chkbench -metrics -scheme NBMS           # breakdown + full metric summary of one scheme
+//
+// Any failing cell aborts the run with a non-zero exit status and a message
+// naming the cell and its replay seed; partial tables are never printed as if
+// they were complete.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -49,31 +55,49 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "", "table to regenerate: 1, 2, 3 or all")
-	exp := flag.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling, domino, avail")
-	quick := flag.Bool("quick", false, "use reduced workload sizes")
-	verbose := flag.Bool("v", false, "log every run")
-	parallel := flag.Int("parallel", 0, "worker goroutines for the benchmark matrix (0 = GOMAXPROCS)")
-	celltime := flag.Bool("celltime", false, "report per-cell wall-clock timings (stderr table + JSON timing section)")
-	jsonOut := flag.String("json", "", "write the measured table rows as machine-readable JSON to this file")
-	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON of one checkpointed run (-app/-scheme/-ckpts) to this file")
-	metrics := flag.Bool("metrics", false, "print the overhead breakdown (and, for a single -scheme, the metric summary) of -app")
-	app := flag.String("app", "SOR-256", "workload for -trace/-metrics, e.g. SOR-256, ISING-512, GAUSS-384")
-	scheme := flag.String("scheme", "", "scheme for -trace/-metrics, see -list (default NBMS for -trace, all Table 2 schemes for -metrics)")
-	ckpts := flag.Int("ckpts", 3, "checkpoints per run for -trace/-metrics")
-	list := flag.Bool("list", false, "list the known applications and schemes, then exit")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "chkbench:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: every failure — flag
+// misuse, an unknown name, or any benchmark cell erroring mid-matrix —
+// returns a non-nil error, and main maps non-nil onto a non-zero exit.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("chkbench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	table := fs.String("table", "", "table to regenerate: 1, 2, 3 or all")
+	exp := fs.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling, domino, avail")
+	quick := fs.Bool("quick", false, "use reduced workload sizes")
+	verbose := fs.Bool("v", false, "log every run")
+	parallel := fs.Int("parallel", 0, "worker goroutines for the benchmark matrix (0 = GOMAXPROCS)")
+	celltime := fs.Bool("celltime", false, "report per-cell wall-clock timings (stderr table + JSON timing section)")
+	jsonOut := fs.String("json", "", "write the measured table rows as machine-readable JSON to this file")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON of one checkpointed run (-app/-scheme/-ckpts) to this file")
+	metrics := fs.Bool("metrics", false, "print the overhead breakdown (and, for a single -scheme, the metric summary) of -app")
+	app := fs.String("app", "SOR-256", "workload for -trace/-metrics, e.g. SOR-256, ISING-512, GAUSS-384")
+	scheme := fs.String("scheme", "", "scheme for -trace/-metrics, see -list (default NBMS for -trace, all Table 2 schemes for -metrics)")
+	ckpts := fs.Int("ckpts", 3, "checkpoints per run for -trace/-metrics")
+	list := fs.Bool("list", false, "list the known applications and schemes, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		fmt.Println("Applications (-app NAME-SIZE; the size scales the per-node state):")
+		fmt.Fprintln(out, "Applications (-app NAME-SIZE; the size scales the per-node state):")
 		for _, name := range bench.AppNames() {
-			fmt.Println("  " + name)
+			fmt.Fprintln(out, "  "+name)
 		}
-		fmt.Println("Schemes (-scheme; case-insensitive, Coord_ prefix and underscores optional):")
+		fmt.Fprintln(out, "Schemes (-scheme; case-insensitive, Coord_ prefix and underscores optional):")
 		for _, name := range bench.SchemeNames() {
-			fmt.Println("  " + name)
+			fmt.Fprintln(out, "  "+name)
 		}
-		return
+		return nil
 	}
 	if *jsonOut != "" && *table == "" {
 		*table = "all" // -json reports table rows, so it implies the table runs
@@ -81,10 +105,17 @@ func main() {
 	if *table == "" && *exp == "" && *traceOut == "" && !*metrics {
 		*table = "all"
 	}
+	switch *table {
+	case "", "1", "2", "3", "all":
+	default:
+		// A typo used to fall through every table block silently and exit 0
+		// with no output — success status for work never done.
+		return fmt.Errorf("unknown -table %q: want 1, 2, 3 or all", *table)
+	}
 	var prog bench.Progress
 	if *verbose {
 		// Line-atomic writes keep concurrently running cells' logs readable.
-		prog = bench.NewLineProgress(os.Stderr)
+		prog = bench.NewLineProgress(errw)
 	}
 	r := bench.NewRunner(*parallel, prog)
 	if *celltime {
@@ -94,14 +125,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
+
 	cfg := par.DefaultConfig()
-	out := os.Stdout
-
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "chkbench:", err)
-		os.Exit(1)
-	}
-
 	var jsonRows []bench.JSONRow
 	if *table == "1" || *table == "all" {
 		wls := bench.Table1Workloads()
@@ -110,7 +135,7 @@ func main() {
 		}
 		rows, err := r.MeasureRows(ctx, cfg, wls, bench.Table1Schemes, 3)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		bench.WriteTable1(out, rows)
 		fmt.Fprintln(out)
@@ -123,7 +148,7 @@ func main() {
 		}
 		rows, err := r.MeasureRows(ctx, cfg, wls, bench.Table2Schemes, 3)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if *table == "2" || *table == "all" {
 			bench.WriteTable2(out, rows)
@@ -137,20 +162,20 @@ func main() {
 	}
 	if *exp != "" {
 		if err := bench.RunExperiment(out, *exp, cfg, *quick, r); err != nil {
-			fail(err)
+			return err
 		}
 	}
 	if *traceOut != "" || *metrics {
 		wl, err := bench.WorkloadByName(*app)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		var schemes []ckpt.Variant
 		switch {
 		case *scheme != "":
 			v, err := bench.SchemeByName(*scheme)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			schemes = []ckpt.Variant{v}
 		case *traceOut != "":
@@ -160,7 +185,7 @@ func main() {
 		}
 		normal, bds, err := r.MeasureBreakdown(ctx, cfg, wl, schemes, *ckpts)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if *metrics {
 			bench.WriteBreakdown(out, wl.Name, normal, bds)
@@ -173,15 +198,16 @@ func main() {
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
-				fail(err)
+				return err
 			}
 			if err := bds[0].Obs.WriteChromeTrace(f); err != nil {
-				fail(err)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "chkbench: wrote Chrome trace of %s under %s to %s (open in Perfetto or chrome://tracing)\n",
+			fmt.Fprintf(errw, "chkbench: wrote Chrome trace of %s under %s to %s (open in Perfetto or chrome://tracing)\n",
 				wl.Name, bds[0].Scheme, *traceOut)
 		}
 	}
@@ -197,20 +223,22 @@ func main() {
 		}
 		f, err := os.Create(*jsonOut)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := bench.WriteJSON(f, rep); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "chkbench: wrote JSON report (%d rows) to %s\n", len(jsonRows), *jsonOut)
+		fmt.Fprintf(errw, "chkbench: wrote JSON report (%d rows) to %s\n", len(jsonRows), *jsonOut)
 	}
 	if *celltime {
-		bench.WriteCellTimes(os.Stderr, r.Timings())
-		fmt.Fprintf(os.Stderr, "elapsed %.3fs, serial cell cost %.3fs (speedup %.2fx at -parallel %d)\n",
+		bench.WriteCellTimes(errw, r.Timings())
+		fmt.Fprintf(errw, "elapsed %.3fs, serial cell cost %.3fs (speedup %.2fx at -parallel %d)\n",
 			elapsed.Seconds(), r.TotalWall().Seconds(),
 			r.TotalWall().Seconds()/elapsed.Seconds(), r.EffectiveParallel())
 	}
+	return nil
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunUnknownTableFails pins the audit fix: an unrecognized -table used to
+// fall through every table block and exit 0 having benchmarked nothing.
+func TestRunUnknownTableFails(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-table", "9"}, &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), `unknown -table "9"`) {
+		t.Fatalf("err = %v, want unknown-table failure", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty on failure:\n%s", out.String())
+	}
+}
+
+// TestRunUnknownNamesFail covers the lookup error paths main must surface as
+// a non-zero exit: workload, scheme, and experiment resolution.
+func TestRunUnknownNamesFail(t *testing.T) {
+	for _, args := range [][]string{
+		{"-metrics", "-app", "NOPE-1"},
+		{"-metrics", "-scheme", "NOPE"},
+		{"-exp", "bogus"},
+	} {
+		var out, errw strings.Builder
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+}
+
+// TestRunBadFlagFails proves flag misuse surfaces as an error (main exits 2).
+func TestRunBadFlagFails(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out, &errw); err == nil {
+		t.Fatal("run with an unknown flag returned nil")
+	}
+}
+
+// TestRunList smoke-tests the one success path cheap enough for a unit test.
+func TestRunList(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SOR", "NBMS", "Indep"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -7,60 +7,83 @@
 //	                         #      message-logging recovery
 //	chkrecover -exp avail    # E12: availability under injected faults and
 //	                         #      Poisson failures
+//
+// Any failing experiment cell aborts the run with a non-zero exit status and
+// a message naming the cell and its replay seed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/ckpt"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
 
+// errUsage marks command-line misuse (as opposed to a failing experiment);
+// main reports it with exit status 2, the flag package's convention.
+var errUsage = errors.New("usage")
+
 func main() {
-	exp := flag.String("exp", "coord", "experiment: coord, domino, logging or avail")
-	scheme := flag.String("scheme", "NBMS", "coordinated scheme for -exp coord")
-	interval := flag.Duration("interval", 3*time.Second, "checkpoint interval (virtual)")
-	crashAt := flag.Duration("crash", 15*time.Second, "failure time (virtual)")
-	quick := flag.Bool("quick", false, "reduced workload sizes")
-	parallel := flag.Int("parallel", 0, "worker goroutines for -exp domino/avail cells (0 = GOMAXPROCS)")
-	seed := flag.Uint64("seed", 0, "override every -exp avail cell's fault-plan seed (0 = per-cell seeds)")
-	verbose := flag.Bool("v", false, "log every run")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	case errors.Is(err, errUsage):
+		fmt.Fprintln(os.Stderr, "chkrecover:", err)
+		os.Exit(2)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "chkrecover:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: every failure returns a
+// non-nil error, and main maps non-nil onto a non-zero exit.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("chkrecover", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	exp := fs.String("exp", "coord", "experiment: coord, domino, logging or avail")
+	scheme := fs.String("scheme", "NBMS", "coordinated scheme for -exp coord")
+	interval := fs.Duration("interval", 3*time.Second, "checkpoint interval (virtual)")
+	crashAt := fs.Duration("crash", 15*time.Second, "failure time (virtual)")
+	quick := fs.Bool("quick", false, "reduced workload sizes")
+	parallel := fs.Int("parallel", 0, "worker goroutines for -exp domino/avail cells (0 = GOMAXPROCS)")
+	seed := fs.Uint64("seed", 0, "override every -exp avail cell's fault-plan seed (0 = per-cell seeds)")
+	verbose := fs.Bool("v", false, "log every run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var prog bench.Progress
 	if *verbose {
-		prog = bench.NewLineProgress(os.Stderr)
+		prog = bench.NewLineProgress(errw)
 	}
 	cfg := par.DefaultConfig()
-	var err error
 	switch *exp {
 	case "coord":
-		var v ckpt.Variant
-		if v, err = bench.SchemeByName(*scheme); err == nil {
-			err = bench.RecoveryDemo(os.Stdout, cfg, v,
-				sim.Duration(*interval/time.Nanosecond),
-				sim.Duration(*crashAt/time.Nanosecond),
-				500*sim.Millisecond)
+		v, err := bench.SchemeByName(*scheme)
+		if err != nil {
+			return err
 		}
+		return bench.RecoveryDemo(out, cfg, v,
+			sim.Duration(*interval/time.Nanosecond),
+			sim.Duration(*crashAt/time.Nanosecond),
+			500*sim.Millisecond)
 	case "domino":
-		err = bench.DominoExperiment(os.Stdout, cfg, *quick, bench.NewRunner(*parallel, prog))
+		return bench.DominoExperiment(out, cfg, *quick, bench.NewRunner(*parallel, prog))
 	case "logging":
-		err = bench.LoggingRecoveryDemo(os.Stdout, cfg, 3,
+		return bench.LoggingRecoveryDemo(out, cfg, 3,
 			sim.Duration(*crashAt/time.Nanosecond), 300*sim.Millisecond)
 	case "avail":
-		err = bench.AvailabilityExperimentSeeded(os.Stdout, cfg, *quick,
+		return bench.AvailabilityExperimentSeeded(out, cfg, *quick,
 			bench.NewRunner(*parallel, prog), *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "chkrecover: unknown experiment %q\nusage: chkrecover -exp coord|domino|logging|avail [flags]\n", *exp)
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "chkrecover:", err)
-		os.Exit(1)
+		return fmt.Errorf("%w: unknown experiment %q: want coord, domino, logging or avail", errUsage, *exp)
 	}
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunUnknownExperimentIsUsage pins the distinct exit paths: misuse is
+// errUsage (exit 2), a failing experiment is a plain error (exit 1).
+func TestRunUnknownExperimentIsUsage(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-exp", "bogus"}, &out, &errw)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+	if !strings.Contains(err.Error(), `"bogus"`) {
+		t.Fatalf("err = %v, want it to name the experiment", err)
+	}
+}
+
+// TestRunUnknownSchemeFails covers -exp coord's resolution error path, which
+// previously could only be observed as a process exit.
+func TestRunUnknownSchemeFails(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-exp", "coord", "-scheme", "NOPE"}, &out, &errw)
+	if err == nil || errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want a non-usage failure", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty on failure:\n%s", out.String())
+	}
+}
+
+// TestRunBadFlagFails proves flag misuse surfaces as an error (main exits 2).
+func TestRunBadFlagFails(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out, &errw); err == nil {
+		t.Fatal("run with an unknown flag returned nil")
+	}
+}

@@ -1,0 +1,79 @@
+package check
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/ckpt"
+	"repro/internal/par"
+)
+
+// TestCellEveryScheme crashes one cell of every explorer scheme in a middle
+// stratum and requires a clean bill: recovery ran, every invariant held, and
+// the outcome matched the fault-free baseline.
+func TestCellEveryScheme(t *testing.T) {
+	o := NewOracle(par.DefaultConfig())
+	wl := bench.RingWorkload(256, 40, 2e5)
+	for _, v := range ExplorerSchemes {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c := bench.Cell{App: wl.Name, Scheme: v.String(), Rep: 5}
+			res, err := o.RunCell(CellSpec{Workload: wl, Scheme: v, Point: 1, Points: 4, Seed: c.Seed()})
+			if err != nil {
+				t.Fatalf("cell failed (seed %#x): %v", c.Seed(), err)
+			}
+			if !res.Recovered {
+				t.Fatalf("crash at %v never happened (exec %v)", res.CrashAt, res.Exec)
+			}
+			if res.Checks == 0 {
+				t.Fatalf("no invariant checks ran")
+			}
+		})
+	}
+}
+
+// TestCellDeterministic reruns one cell of each family and requires the
+// identical trajectory: same crash point, same recovery target, same
+// execution time, same number of checks.
+func TestCellDeterministic(t *testing.T) {
+	wl := bench.AsyncWorkload(40, 256)
+	for _, v := range []ckpt.Variant{ckpt.CoordNBM, ckpt.IndepM, ckpt.CICM} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c := bench.Cell{App: wl.Name, Scheme: v.String(), Rep: 9}
+			spec := CellSpec{Workload: wl, Scheme: v, Point: 2, Points: 4, Seed: c.Seed()}
+			// Fresh oracles: the baseline must also reproduce.
+			r1, err1 := NewOracle(par.DefaultConfig()).RunCell(spec)
+			r2, err2 := NewOracle(par.DefaultConfig()).RunCell(spec)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("cell failed: %v / %v", err1, err2)
+			}
+			if r1.CrashAt != r2.CrashAt || r1.Exec != r2.Exec || r1.Checks != r2.Checks || r1.Round != r2.Round {
+				t.Fatalf("non-deterministic cell: %+v vs %+v", r1, r2)
+			}
+			for i := range r1.Line {
+				if r1.Line[i] != r2.Line[i] {
+					t.Fatalf("non-deterministic recovery line: %v vs %v", r1.Line, r2.Line)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepSubset runs a miniature sweep through the public driver.
+func TestSweepSubset(t *testing.T) {
+	cfg := QuickSweep(par.DefaultConfig())
+	cfg.Apps = cfg.Apps[:1]
+	cfg.Points, cfg.Seeds = 2, 1
+	rep, err := Sweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if rep.Cells != len(ExplorerSchemes)*2 {
+		t.Fatalf("ran %d cells, want %d", rep.Cells, len(ExplorerSchemes)*2)
+	}
+	if rep.Recovered == 0 || rep.Checks == 0 {
+		t.Fatalf("sweep exercised nothing: %+v", rep)
+	}
+}

@@ -1,0 +1,162 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/ckpt"
+	"repro/internal/par"
+)
+
+// ExplorerSchemes is the full scheme matrix the explorer sweeps: every
+// variant of the three protocol families the simulator implements (the
+// paper's Table 1 columns plus the CIC family).
+var ExplorerSchemes = []ckpt.Variant{
+	ckpt.CoordNB, ckpt.CoordNBM, ckpt.CoordNBMS,
+	ckpt.Indep, ckpt.IndepM,
+	ckpt.CIC, ckpt.CICM,
+}
+
+// SweepConfig parameterizes one explorer sweep over the cell lattice
+// apps x schemes x crash strata x seeds.
+type SweepConfig struct {
+	Cfg      par.Config
+	Apps     []apps.Workload
+	Schemes  []ckpt.Variant
+	Points   int // crash strata per (app, scheme)
+	Seeds    int // seeds per stratum
+	Parallel int // worker pool size; 0 means GOMAXPROCS
+	Prog     bench.Progress
+}
+
+// QuickSweep is the CI matrix: 2 workloads x 7 schemes x 4 crash strata x 4
+// seeds = 224 cells, every scheme family crashed in every quarter of its
+// run. The workloads are deliberately small — the sweep's power comes from
+// the number of (scheme, crash point, seed) combinations, not from long
+// runs.
+func QuickSweep(cfg par.Config) SweepConfig {
+	return SweepConfig{
+		Cfg: cfg,
+		Apps: []apps.Workload{
+			bench.RingWorkload(256, 40, 2e5),
+			bench.AsyncWorkload(40, 256),
+		},
+		Schemes: ExplorerSchemes,
+		Points:  4,
+		Seeds:   4,
+	}
+}
+
+// FullSweep is the overnight matrix: more workloads (including a larger
+// state footprint, which shifts checkpoint timing and storage contention),
+// more strata, more seeds — 3 x 7 x 6 x 8 = 1008 cells.
+func FullSweep(cfg par.Config) SweepConfig {
+	return SweepConfig{
+		Cfg: cfg,
+		Apps: []apps.Workload{
+			bench.RingWorkload(256, 40, 2e5),
+			bench.RingWorkload(60_000, 80, 4e5),
+			bench.AsyncWorkload(60, 2048),
+		},
+		Schemes: ExplorerSchemes,
+		Points:  6,
+		Seeds:   8,
+	}
+}
+
+// SweepReport summarizes a completed sweep.
+type SweepReport struct {
+	Cells     int   // cells executed cleanly
+	Checks    int64 // individual invariant assertions across all cells
+	Recovered int64 // cells that actually crashed and recovered
+}
+
+// Cells materializes the sweep's cell lattice. The bench.Cell identity
+// (app, scheme, rep) is the unit of reproducibility: Rep encodes (stratum,
+// seed ordinal) and bench.Cell.Seed derives the cell's RNG seed from the
+// identity alone, so any failing cell reruns bit-identically from its
+// printed name.
+func (cfg SweepConfig) Cells() ([]bench.Cell, []CellSpec) {
+	var cells []bench.Cell
+	var specs []CellSpec
+	for _, wl := range cfg.Apps {
+		for _, v := range cfg.Schemes {
+			for point := 0; point < cfg.Points; point++ {
+				for s := 0; s < cfg.Seeds; s++ {
+					cells = append(cells, bench.Cell{App: wl.Name, Scheme: v.String(), Rep: point*cfg.Seeds + s})
+					specs = append(specs, CellSpec{Workload: wl, Scheme: v, Point: point, Points: cfg.Points})
+				}
+			}
+		}
+	}
+	return cells, specs
+}
+
+// Spec resolves a cell name of the form "APP/SCHEME#REP" (as printed in
+// failure reports) back into its CellSpec for single-cell reproduction.
+func (cfg SweepConfig) Spec(name string) (bench.Cell, CellSpec, error) {
+	cells, specs := cfg.Cells()
+	for i, c := range cells {
+		if c.Name() == name {
+			spec := specs[i]
+			spec.Seed = c.Seed()
+			return c, spec, nil
+		}
+	}
+	return bench.Cell{}, CellSpec{}, fmt.Errorf("check: no cell named %q in this sweep", name)
+}
+
+// CellError is the typed failure Sweep returns: the failing cell's identity
+// and seed survive the runner's message wrapping (errors.As through the %w
+// chain), so drivers can persist them — the CI failing-seed artifact —
+// without parsing the message back apart.
+type CellError struct {
+	Cell bench.Cell
+	Seed uint64
+	Err  error
+}
+
+// Error defers to the cause: the runner's wrapper already prefixes the cell
+// name and seed, so repeating them here would print them twice.
+func (e *CellError) Error() string { return e.Err.Error() }
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Sweep fans the cell lattice over the bench runner's worker pool,
+// fail-fast: the first failing cell cancels the dispatch and its error —
+// carrying the cell name and seed — is returned, the runner guaranteeing the
+// lowest-indexed failure wins so reports are deterministic under
+// parallelism.
+func Sweep(ctx context.Context, cfg SweepConfig) (SweepReport, error) {
+	o := NewOracle(cfg.Cfg)
+	cells, specs := cfg.Cells()
+	var checks, recovered atomic.Int64
+	r := bench.NewRunner(cfg.Parallel, cfg.Prog)
+	err := r.ForEach(ctx, cells, func(ctx context.Context, i int, c bench.Cell) error {
+		spec := specs[i]
+		spec.Seed = c.Seed()
+		res, err := o.RunCell(spec)
+		if err != nil {
+			return &CellError{Cell: c, Seed: spec.Seed, Err: err}
+		}
+		checks.Add(res.Checks)
+		if res.Recovered {
+			recovered.Add(1)
+			if cfg.Prog != nil {
+				where := fmt.Sprintf("round %d", res.Round)
+				if !spec.Scheme.Coordinated() {
+					where = fmt.Sprintf("line %v", res.Line)
+				}
+				cfg.Prog("%-24s crash %8.2fs -> %s, %3d checks ok", c.Name(), res.CrashAt.Seconds(), where, res.Checks)
+			}
+		}
+		return nil
+	})
+	rep := SweepReport{Cells: len(cells), Checks: checks.Load(), Recovered: recovered.Load()}
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

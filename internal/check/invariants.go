@@ -1,0 +1,456 @@
+package check
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cic"
+	"repro/internal/ckpt"
+	"repro/internal/par"
+	"repro/internal/rdg"
+)
+
+// Violation is one failed consistency invariant. Violations are collected
+// rather than thrown: the run continues so a single cell can surface every
+// broken invariant at once, and the cell's error lists them.
+type Violation struct {
+	Invariant string // short dotted name, e.g. "coord.chan-complete"
+	Detail    string
+}
+
+func (v *Violation) Error() string { return v.Invariant + ": " + v.Detail }
+
+// maxViolations bounds how many violations one cell accumulates; past the
+// cap only the counter advances (a truly broken protocol would otherwise
+// drown the report).
+const maxViolations = 16
+
+// audit is the per-cell invariant checker. Its onCommit method is installed
+// as the scheme's CommitHook, so it runs synchronously in the committing
+// daemon's context after every durably committed checkpoint (round for
+// coordinated schemes, single checkpoint for independent/CIC); storage is
+// inspected through Server.Peek, which costs no virtual time, so an armed
+// audit never perturbs the schedule it is checking.
+type audit struct {
+	m *par.Machine
+	h *Harness
+	v ckpt.Variant
+	n int
+
+	committed []ckpt.Record // records currently represented in durable storage
+	lastLine  []int         // uncoordinated: last recovery line, for monotonicity
+	recovered bool          // a crash-recovery happened in this cell
+	checks    int64         // individual invariant assertions evaluated
+	dropped   int           // violations past maxViolations
+	out       []*Violation
+}
+
+func newAudit(m *par.Machine, h *Harness, v ckpt.Variant) *audit {
+	return &audit{m: m, h: h, v: v, n: m.NumNodes(), lastLine: make([]int, m.NumNodes())}
+}
+
+func (a *audit) violatef(inv, format string, args ...any) {
+	a.m.Obs.Add(0, "check.violations", 1)
+	if len(a.out) >= maxViolations {
+		a.dropped++
+		return
+	}
+	a.out = append(a.out, &Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+}
+
+// assert evaluates one invariant and records it either way; it returns ok so
+// callers can skip dependent checks after a failure.
+func (a *audit) assert(ok bool, inv, format string, args ...any) bool {
+	a.checks++
+	if !ok {
+		a.violatef(inv, format, args...)
+	}
+	return ok
+}
+
+// err folds the collected violations into a single error, nil when the cell
+// is clean.
+func (a *audit) err() error {
+	if len(a.out) == 0 {
+		return nil
+	}
+	parts := make([]string, len(a.out))
+	for i, v := range a.out {
+		parts[i] = v.Error()
+	}
+	more := ""
+	if a.dropped > 0 {
+		more = fmt.Sprintf(" (+%d more)", a.dropped)
+	}
+	return fmt.Errorf("%d invariant violation(s)%s: %s", len(a.out)+a.dropped, more,
+		strings.Join(parts, "; "))
+}
+
+// onCommit is the CommitHook entry point for every scheme family.
+func (a *audit) onCommit(recs []ckpt.Record) {
+	a.m.Obs.Add(0, "check.commits", 1)
+	if a.v.Coordinated() {
+		a.coordCommit(recs)
+		return
+	}
+	for _, rec := range recs {
+		a.indepCommit(rec)
+	}
+}
+
+// coordCommit audits one committed 2PC round: the commit record is durable
+// and names this round, every rank's state (and channel log, when non-empty)
+// is durable with the recorded size, and the channel logs capture exactly
+// the messages in transit across the cut — no orphan (a consumed message
+// whose send the cut excludes) and no lost in-transit message.
+func (a *audit) coordCommit(recs []ckpt.Record) {
+	if !a.assert(len(recs) == a.n, "coord.round-shape", "round committed %d records, want %d", len(recs), a.n) {
+		return
+	}
+	round := recs[0].Index
+	byRank := make([]*ckpt.Record, a.n)
+	for i := range recs {
+		r := &recs[i]
+		if !a.assert(r.Index == round, "coord.round-shape", "mixed rounds %d and %d in one commit", round, r.Index) {
+			return
+		}
+		if !a.assert(r.Rank >= 0 && r.Rank < a.n && byRank[r.Rank] == nil,
+			"coord.round-shape", "round %d: duplicate or out-of-range rank %d", round, r.Rank) {
+			return
+		}
+		byRank[r.Rank] = r
+	}
+
+	meta, ok := a.m.Store.Peek(ckpt.CoordMetaPath())
+	if a.assert(ok, "coord.meta-durable", "round %d committed but no durable commit record", round) {
+		got, err := ckpt.ParseMetaRecord(meta)
+		a.assert(err == nil && got == round, "coord.meta-durable",
+			"commit record reads round %d (err %v), want %d", got, err, round)
+	}
+
+	// Check every rank's durable state and pick up the ledger cut its capture
+	// recorded in the sidecar; the cut defines the global state this round
+	// represents.
+	sentVec := make([][]int, a.n)
+	recvVec := make([][]int, a.n)
+	for rank, rec := range byRank {
+		data, ok := a.m.Store.Peek(ckpt.CoordStatePath(round, rank))
+		if !a.assert(ok, "coord.state-durable", "round %d rank %d: state file missing", round, rank) {
+			return
+		}
+		if !a.assert(len(data) == rec.StateBytes, "coord.state-durable",
+			"round %d rank %d: state is %d bytes, record says %d", round, rank, len(data), rec.StateBytes) {
+			return
+		}
+		sent, recv, ok := a.h.cutAt(rank, round)
+		if !a.assert(ok, "coord.state-durable", "round %d rank %d: no ledger cut recorded at capture", round, rank) {
+			return
+		}
+		sentVec[rank], recvVec[rank] = sent, recv
+	}
+
+	// Decode every rank's channel log, split per sender (application tags
+	// only — collective-internal messages are protocol traffic).
+	logged := make([][][]msgCopy, a.n)
+	for rank, rec := range byRank {
+		logged[rank] = make([][]msgCopy, a.n)
+		data, ok := a.m.Store.Peek(ckpt.CoordChanPath(round, rank))
+		if rec.ChanBytes == 0 {
+			a.assert(!ok, "coord.chan-durable", "round %d rank %d: empty channel but a durable log of %d bytes", round, rank, len(data))
+			continue
+		}
+		if !a.assert(ok && len(data) == rec.ChanBytes, "coord.chan-durable",
+			"round %d rank %d: channel log %d bytes durable (present %v), record says %d", round, rank, len(data), ok, rec.ChanBytes) {
+			continue
+		}
+		msgs, err := ckpt.DecodeChanLog(data)
+		if !a.assert(err == nil, "coord.chan-durable", "round %d rank %d: undecodable channel log: %v", round, rank, err) {
+			continue
+		}
+		for _, m := range msgs {
+			if m.Tag < 0 {
+				continue
+			}
+			logged[rank][m.Src] = append(logged[rank][m.Src], copyMsg(m))
+		}
+	}
+
+	// Channel rules across the cut, per ordered channel src -> dst: the
+	// receiver may not have consumed past what the sender sent (no orphan),
+	// and the log must hold exactly the window in between (no loss, nothing
+	// invented), byte-for-byte against the send ledger.
+	for src := 0; src < a.n; src++ {
+		for dst := 0; dst < a.n; dst++ {
+			lo, hi := recvVec[dst][src], sentVec[src][dst]
+			if !a.assert(lo <= hi, "coord.no-orphan",
+				"round %d: %d->%d consumed %d of %d sent; the cut orphans %d message(s)", round, src, dst, lo, hi, lo-hi) {
+				continue
+			}
+			if !a.assert(hi <= len(a.h.sends[src][dst]), "coord.ledger",
+				"round %d: %d->%d snapshot claims %d sends, ledger has %d", round, src, dst, hi, len(a.h.sends[src][dst])) {
+				continue
+			}
+			want := a.h.sends[src][dst][lo:hi]
+			got := logged[dst][src]
+			if !a.assert(len(got) == len(want), "coord.chan-complete",
+				"round %d: %d->%d logged %d in-transit message(s), want %d", round, src, dst, len(got), len(want)) {
+				continue
+			}
+			for k := range want {
+				if !a.assert(sameMsg(got[k], want[k]), "coord.chan-complete",
+					"round %d: %d->%d in-transit message %d differs from the send ledger", round, src, dst, lo+k) {
+					break
+				}
+			}
+		}
+	}
+	a.committed = append(a.committed, recs...)
+}
+
+// indepCommit audits one committed independent/CIC checkpoint: the file is
+// durable with exactly the recorded index, dependency edges and state size,
+// and the maximal consistent recovery line over everything committed so far
+// is orphan-free and has not moved backwards on any rank (new checkpoints
+// only constrain new intervals).
+func (a *audit) indepCommit(rec ckpt.Record) {
+	path := a.ckptPath(rec.Rank, rec.Index)
+	data, ok := a.m.Store.Peek(path)
+	if a.assert(ok, "indep.durable", "rank %d ckpt %d committed but %s not durable", rec.Rank, rec.Index, path) {
+		idx, deps, state, _, err := a.decodeCkpt(data)
+		if a.assert(err == nil, "indep.durable", "rank %d ckpt %d: undecodable: %v", rec.Rank, rec.Index, err) {
+			a.assert(idx == rec.Index, "indep.durable",
+				"rank %d: file %s holds index %d, record says %d", rec.Rank, path, idx, rec.Index)
+			a.assert(len(state) == rec.StateBytes, "indep.durable",
+				"rank %d ckpt %d: state is %d bytes, record says %d", rec.Rank, rec.Index, len(state), rec.StateBytes)
+			a.assert(sameDeps(deps, rec.Deps), "indep.durable",
+				"rank %d ckpt %d: durable dependency edges differ from the record", rec.Rank, rec.Index)
+			_, _, cutOK := a.h.cutAt(rec.Rank, rec.Index)
+			a.assert(cutOK, "indep.durable",
+				"rank %d ckpt %d: no ledger cut recorded at capture", rec.Rank, rec.Index)
+		}
+	}
+
+	a.committed = append(a.committed, rec)
+	g := rdg.FromRecords(a.n, a.committed)
+	line := g.RecoveryLine()
+	if orph := g.OrphanEdges(line); len(orph) > 0 {
+		a.violatef("indep.line-consistent", "after rank %d ckpt %d the line %v keeps orphan edges %v",
+			rec.Rank, rec.Index, line, orph)
+	}
+	a.checks++
+	for r := 0; r < a.n; r++ {
+		if !a.assert(line[r] >= a.lastLine[r], "indep.line-monotonic",
+			"after rank %d ckpt %d the line regressed on rank %d: %d -> %d",
+			rec.Rank, rec.Index, r, a.lastLine[r], line[r]) {
+			break
+		}
+	}
+	a.lastLine = line
+}
+
+// onRecovery rebases the audit on the recovery line the driver restored:
+// checkpoints above the line were deleted from stable storage and must no
+// longer be treated as committed.
+func (a *audit) onRecovery(line []int) {
+	a.recovered = true
+	kept := a.committed[:0]
+	for _, r := range a.committed {
+		if r.Index <= line[r.Rank] {
+			kept = append(kept, r)
+		}
+	}
+	a.committed = kept
+	a.lastLine = append([]int(nil), line...)
+}
+
+// onCoordRecovery marks that a coordinated recovery ran. Committed rounds
+// need no rebasing — the commit record is monotone, so recovery always
+// restores the newest committed round.
+func (a *audit) onCoordRecovery() { a.recovered = true }
+
+// finish runs the end-of-run durable-storage audit once the engine has
+// drained (background writes included): stable storage holds exactly the
+// committed checkpoints — no partial residue, nothing missing — and for the
+// CIC family the termination checkpoints have sealed the zero-rollback
+// guarantee: the maximal consistent line is every rank's latest checkpoint.
+func (a *audit) finish() {
+	if a.v.Coordinated() {
+		a.finishCoordinated()
+	} else {
+		a.finishUncoordinated()
+	}
+}
+
+func (a *audit) finishCoordinated() {
+	maxRound := 0
+	for _, r := range a.committed {
+		if r.Index > maxRound {
+			maxRound = r.Index
+		}
+	}
+	meta, ok := a.m.Store.Peek(ckpt.CoordMetaPath())
+	if !ok {
+		a.assert(maxRound == 0, "coord.exact", "round %d committed but no durable commit record", maxRound)
+		return
+	}
+	round, err := ckpt.ParseMetaRecord(meta)
+	if !a.assert(err == nil, "coord.exact", "undecodable commit record: %v", err) {
+		return
+	}
+	// The crash can pre-empt a committing daemon between the commit record
+	// becoming durable and the bookkeeping callback: round maxRound+1 is
+	// then committed on disk with no record on this side. Legal only across
+	// a recovery; the durable files must still be complete.
+	phantom := a.recovered && round == maxRound+1
+	if !a.assert(round == maxRound || phantom, "coord.exact",
+		"commit record reads round %d, last committed round is %d", round, maxRound) {
+		return
+	}
+	if round == 0 {
+		return
+	}
+
+	// The committed round's slot must hold exactly that round's files. (The
+	// other slot legally carries the previous round or a tentative next
+	// round — 2PC's abort path may leave it either way; recovery never reads
+	// it because the commit record is authoritative.)
+	slotPrefix := slotOf(ckpt.CoordStatePath(round, 0))
+	want := map[string]int{ckpt.CoordMetaPath(): -1}
+	if phantom {
+		// No records to audit sizes against: require a complete state set
+		// whose captures left cuts in the sidecar, and accept whatever channel
+		// logs the round wrote.
+		for rank := 0; rank < a.n; rank++ {
+			want[ckpt.CoordStatePath(round, rank)] = -1
+			_, ok := a.m.Store.Peek(ckpt.CoordStatePath(round, rank))
+			if a.assert(ok, "coord.exact", "commit record names round %d but rank %d's state is missing", round, rank) {
+				_, _, cutOK := a.h.cutAt(rank, round)
+				a.assert(cutOK, "coord.exact", "round %d rank %d: no ledger cut recorded at capture", round, rank)
+			}
+			want[ckpt.CoordChanPath(round, rank)] = -1
+		}
+	} else {
+		for _, r := range a.committed {
+			if r.Index != round {
+				continue
+			}
+			want[ckpt.CoordStatePath(round, r.Rank)] = r.StateBytes
+			if r.ChanBytes > 0 {
+				want[ckpt.CoordChanPath(round, r.Rank)] = r.ChanBytes
+			}
+		}
+	}
+	for _, path := range a.m.Store.DurablePaths() {
+		inSlot := strings.HasPrefix(path, slotPrefix)
+		if !strings.HasPrefix(path, "coord/") || (!inSlot && path != ckpt.CoordMetaPath()) {
+			continue
+		}
+		size, listed := want[path]
+		if !a.assert(listed, "coord.exact", "stray durable file %s in the committed round's slot", path) {
+			continue
+		}
+		if size >= 0 {
+			data, _ := a.m.Store.Peek(path)
+			a.assert(len(data) == size, "coord.exact", "%s is %d bytes, committed record says %d", path, len(data), size)
+		}
+		delete(want, path)
+	}
+	for path := range want {
+		if size := want[path]; size < 0 && strings.Contains(path, "/c") && path != ckpt.CoordMetaPath() {
+			continue // phantom round: channel logs are optional
+		}
+		a.violatef("coord.exact", "committed file %s missing from durable storage", path)
+		a.checks++
+	}
+}
+
+func (a *audit) finishUncoordinated() {
+	want := make(map[string]struct{}, len(a.committed))
+	for _, r := range a.committed {
+		want[a.ckptPath(r.Rank, r.Index)] = struct{}{}
+	}
+	root := a.familyRoot()
+	for _, path := range a.m.Store.DurablePaths() {
+		if !strings.HasPrefix(path, root) {
+			continue
+		}
+		if !a.assert(hasKey(want, path), "indep.exact", "durable file %s has no committed record", path) {
+			continue
+		}
+		delete(want, path)
+	}
+	for path := range want {
+		a.violatef("indep.exact", "committed checkpoint %s missing from durable storage", path)
+		a.checks++
+	}
+	if a.v.CommunicationInduced() && len(a.committed) > 0 {
+		g := rdg.FromRecords(a.n, a.committed)
+		a.assert(g.ZeroRollback(), "cic.zero-rollback",
+			"latest checkpoints %v, maximal consistent line %v", g.Latest(), g.RecoveryLine())
+	}
+}
+
+// ckptPath, decodeCkpt and familyRoot dispatch on the uncoordinated family.
+func (a *audit) ckptPath(rank, index int) string {
+	if a.v.CommunicationInduced() {
+		return cic.CheckpointPath(rank, index)
+	}
+	return ckpt.IndepCheckpointPath(rank, index)
+}
+
+func (a *audit) decodeCkpt(b []byte) (int, []ckpt.Dep, []byte, []byte, error) {
+	if a.v.CommunicationInduced() {
+		return cic.DecodeCheckpoint(b)
+	}
+	return ckpt.DecodeIndepCkpt(b)
+}
+
+func (a *audit) familyRoot() string {
+	if a.v.CommunicationInduced() {
+		return "cic/"
+	}
+	return "indep/"
+}
+
+func hasKey(m map[string]struct{}, k string) bool { _, ok := m[k]; return ok }
+
+func sameDeps(a, b []ckpt.Dep) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// slotOf trims a slot-relative path ("coord/slot1/s003") to its slot
+// directory prefix ("coord/slot1/").
+func slotOf(path string) string {
+	i := strings.LastIndex(path, "/")
+	return path[:i+1]
+}
+
+// parseUncoordPath extracts (rank, index) from an uncoordinated checkpoint
+// path of the form "<root>n%03d/k%05d". Used by the recovery driver to
+// enumerate stale durable files — including completed writes whose commit
+// the crash pre-empted, which appear in no record.
+func parseUncoordPath(root, path string) (rank, index int, ok bool) {
+	rest, found := strings.CutPrefix(path, root)
+	if !found {
+		return 0, 0, false
+	}
+	nPart, kPart, found := strings.Cut(rest, "/")
+	if !found || !strings.HasPrefix(nPart, "n") || !strings.HasPrefix(kPart, "k") {
+		return 0, 0, false
+	}
+	r, err1 := strconv.Atoi(nPart[1:])
+	k, err2 := strconv.Atoi(kPart[1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return r, k, true
+}

@@ -1,0 +1,289 @@
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/ckpt"
+	"repro/internal/faults"
+	"repro/internal/mp"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// CellSpec names one oracle cell: a workload run under a scheme with a crash
+// injected in stratum Point of Points (the fault-free execution is divided
+// into Points equal windows; the exact instant inside the window is drawn
+// from the cell seed's fault plan, so every region of the run gets crashed
+// while each cell stays deterministically reproducible from its seed).
+type CellSpec struct {
+	Workload apps.Workload
+	Scheme   ckpt.Variant
+	Point    int
+	Points   int
+	Seed     uint64
+
+	// Obs optionally instruments the cell's machine (single-cell repro mode;
+	// an Observer must not be shared across concurrently running cells).
+	Obs *obs.Observer
+}
+
+// CellResult summarizes a clean cell for reporting.
+type CellResult struct {
+	CrashAt   sim.Time
+	Recovered bool
+	Round     int   // coordinated: recovered round
+	Line      []int // uncoordinated: restored recovery line
+	Exec      sim.Duration
+	Checks    int64
+
+	// CrashRecords is the committed-checkpoint ledger as recovery saw it
+	// (uncoordinated families only): the inputs Line was computed from, so
+	// tests can independently re-derive and bound the recovery line.
+	CrashRecords []ckpt.Record
+}
+
+// Oracle runs equivalence cells against per-workload fault-free baselines.
+// One Oracle may serve many concurrent cells: the baseline cache is the only
+// shared state and is computed at most once per workload.
+type Oracle struct {
+	Cfg par.Config
+
+	mu   sync.Mutex
+	base map[string]*baseline
+}
+
+func NewOracle(cfg par.Config) *Oracle {
+	return &Oracle{Cfg: cfg, base: make(map[string]*baseline)}
+}
+
+// baseline is the canonical fault-free outcome of one workload: the final
+// application states, the per-node per-sender delivery logs, and the
+// execution time. It is scheme-independent — the reference run checkpoints
+// nothing — which is exactly what makes it an oracle: any scheme, crashed
+// anywhere and recovered, must reproduce it bit for bit.
+type baseline struct {
+	exec      sim.Duration
+	finals    [][]byte
+	delivered [][][]msgCopy
+}
+
+func (o *Oracle) baselineFor(wl apps.Workload) (*baseline, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if b, ok := o.base[wl.Name]; ok {
+		return b, nil
+	}
+	b, err := o.runBaseline(wl)
+	if err != nil {
+		return nil, fmt.Errorf("fault-free baseline of %s: %w", wl.Name, err)
+	}
+	o.base[wl.Name] = b
+	return b, nil
+}
+
+func (o *Oracle) runBaseline(wl apps.Workload) (*baseline, error) {
+	m := par.NewMachine(o.Cfg)
+	defer m.Shutdown()
+	n := m.NumNodes()
+	h := newHarness(n)
+	w := mp.NewWorld(m)
+	h.Attach(w)
+	progs := make([]mp.Program, n)
+	for rank := 0; rank < n; rank++ {
+		progs[rank] = wl.Make(rank, n)
+		w.Launch(rank, progs[rank])
+	}
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	if wl.Check != nil {
+		if err := wl.Check(progs); err != nil {
+			return nil, err
+		}
+	}
+	b := &baseline{exec: sim.Duration(m.AppsFinished), delivered: h.delivered,
+		finals: make([][]byte, n)}
+	for rank, p := range progs {
+		b.finals[rank] = p.Snapshot()
+	}
+	return b, nil
+}
+
+// crashPoint folds the cell seed's fault draw into the spec's stratum of the
+// fault-free execution. Every cell crashes strictly before the fault-free
+// completion time, and a checkpointing run can only be slower, so the crash
+// always lands mid-run.
+func crashPoint(spec CellSpec, exec sim.Duration) sim.Time {
+	points := spec.Points
+	if points < 1 {
+		points = 1
+	}
+	width := exec / sim.Duration(points)
+	if width < 1 {
+		width = 1
+	}
+	draw := faults.Plan{Seed: spec.Seed, Horizon: exec}.CrashTimes(1)[0]
+	at := sim.Time(sim.Duration(spec.Point)*width + sim.Duration(draw)%width)
+	if at < 1 {
+		at = 1
+	}
+	return at
+}
+
+// RunCell executes one oracle cell: run the workload under the scheme, crash
+// every node at the stratified point, recover from stable storage, run to
+// completion, and hold the outcome against the fault-free baseline while the
+// invariant auditor rides along on every commit. The returned error carries
+// every violated invariant.
+func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
+	var res CellResult
+	b, err := o.baselineFor(spec.Workload)
+	if err != nil {
+		return res, err
+	}
+	n := o.Cfg.Fabric.MeshW * o.Cfg.Fabric.MeshH
+	interval := b.exec / 8
+	if interval < 1 {
+		interval = 1
+	}
+	opt := ckpt.Options{Interval: interval}
+	if !spec.Scheme.Coordinated() {
+		// Stagger the autonomous timers so checkpoints interleave with
+		// communication from the start — the interesting regime for the
+		// dependency-graph invariants.
+		opt.Spread = interval / sim.Duration(2*n)
+	}
+	res.CrashAt = crashPoint(spec, b.exec)
+
+	m := par.NewMachine(o.Cfg)
+	defer m.Shutdown()
+	if spec.Obs != nil {
+		m.SetObserver(spec.Obs)
+	}
+	h := newHarness(n)
+	a := newAudit(m, h, spec.Scheme)
+	cur := make([]*wrapped, n)
+	factory := func(rank int) mp.Program {
+		wp := &wrapped{inner: spec.Workload.Make(rank, n), h: h, rank: rank}
+		cur[rank] = wp
+		return wp
+	}
+
+	sch := ckpt.New(spec.Scheme, opt)
+	sch.Attach(m)
+	if hooker, ok := sch.(ckpt.CommitHooker); ok {
+		hooker.SetCommitHook(a.onCommit)
+	}
+	w := mp.NewWorld(m)
+	h.Attach(w)
+	for rank := 0; rank < n; rank++ {
+		w.Launch(rank, factory(rank))
+	}
+
+	repair := interval / 4
+	if repair < 1 {
+		repair = 1
+	}
+	m.Eng.At(res.CrashAt, func() {
+		if m.AppsLive() == 0 {
+			// The scheme's overhead was below the stratum's draw and the run
+			// already finished; the cell degrades to a fault-free
+			// equivalence check.
+			return
+		}
+		m.Obs.InstantArg(0, obs.TidCoord, "check.crash", "at_us", int64(res.CrashAt))
+		m.Obs.Add(0, "check.crashes", 1)
+		m.CrashAll()
+		res.Recovered = true
+		m.Eng.After(repair, func() {
+			m.Eng.Spawn("check-settle", func(p *sim.Proc) {
+				// The storage server outlives the crash and keeps draining
+				// requests the dead incarnation already queued: a checkpoint
+				// write in flight at the crash can still become durable
+				// behind the recovery driver's back. Recover only once the
+				// server is provably idle, as a real repair crew would fsck
+				// before restarting anything.
+				o.settleStorage(p, m)
+				sp := m.Obs.Start(0, obs.TidCoord, "check.recover")
+				if spec.Scheme.Coordinated() {
+					res.Round = o.recoverCoordinated(m, spec.Scheme, opt, h, a, factory)
+				} else {
+					res.Line, res.CrashRecords = o.recoverUncoordinated(m, spec.Scheme, opt, h, a, factory)
+				}
+				sp.End()
+			})
+		})
+	})
+
+	if err := m.Run(); err != nil {
+		return res, fmt.Errorf("crash at %v: %w", res.CrashAt, err)
+	}
+	res.Exec = sim.Duration(m.AppsFinished)
+
+	a.finish()
+	if spec.Workload.Check != nil {
+		progs := make([]mp.Program, n)
+		for rank, wp := range cur {
+			progs[rank] = wp.inner
+		}
+		if err := spec.Workload.Check(progs); err != nil {
+			a.violatef("equiv.app-check", "%v", err)
+		}
+	}
+	equivalence(a, b, h, cur)
+	m.Obs.Add(0, "check.invariant_checks", a.checks)
+	res.Checks = a.checks
+	if err := a.err(); err != nil {
+		return res, fmt.Errorf("crash at %v: %w", res.CrashAt, err)
+	}
+	return res, nil
+}
+
+// settleStorage returns once the stable-storage server has drained every
+// request of the dead incarnation. QueueLen does not count the request in
+// service, so one idle sample is not enough: two consecutive idle samples a
+// full request-service bound apart guarantee any in-service request finished
+// in between — and nothing new can arrive, every client is dead.
+func (o *Oracle) settleStorage(p *sim.Proc, m *par.Machine) {
+	st := o.Cfg.Storage
+	bound := st.ReqOverhead + st.AppendOverhead + st.MetaOverhead + st.CreateOverhead +
+		sim.BytesAt(o.Cfg.CkptImageBytes+128<<10, st.WriteBandwidth)
+	for quiet := 0; quiet < 2; {
+		p.Sleep(bound)
+		if m.Store.QueueLen() == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+	}
+}
+
+// equivalence asserts the crashed-and-recovered run reproduced the
+// fault-free baseline exactly: final application states byte-identical, and
+// every rank consumed, per sender, the identical message sequence.
+func equivalence(a *audit, b *baseline, h *Harness, cur []*wrapped) {
+	for rank, wp := range cur {
+		a.assert(bytes.Equal(wp.inner.Snapshot(), b.finals[rank]), "equiv.final-state",
+			"rank %d final state differs from the fault-free run", rank)
+	}
+	for rank := range cur {
+		for src := range cur {
+			got, want := h.delivered[rank][src], b.delivered[rank][src]
+			if !a.assert(len(got) == len(want), "equiv.delivery-log",
+				"rank %d consumed %d message(s) from %d, fault-free run consumed %d",
+				rank, len(got), src, len(want)) {
+				continue
+			}
+			for k := range want {
+				if !a.assert(sameMsg(got[k], want[k]), "equiv.delivery-log",
+					"rank %d: message %d from %d differs from the fault-free run", rank, k, src) {
+					break
+				}
+			}
+		}
+	}
+}

@@ -62,12 +62,18 @@ type scheme struct {
 	stopped bool
 	stats   ckpt.Stats
 	records []ckpt.Record
+
+	commitHook ckpt.CommitHook // correctness-oracle hook, nil when disarmed
 }
 
 func (s *scheme) Name() string          { return s.v.String() }
 func (s *scheme) Variant() ckpt.Variant { return s.v }
 func (s *scheme) Stats() ckpt.Stats     { return s.stats }
 func (s *scheme) Stop()                 { s.stopped = true }
+
+// SetCommitHook arms the correctness-oracle hook, fired once per durably
+// completed checkpoint with its single record.
+func (s *scheme) SetCommitHook(h ckpt.CommitHook) { s.commitHook = h }
 
 // Records returns committed checkpoints ordered by completion time (ties by
 // rank) — the order they became durable.
@@ -88,6 +94,13 @@ func (s *scheme) Attach(m *par.Machine) {
 	s.nodes = make([]*cicNode, m.NumNodes())
 	for i := range m.Nodes {
 		cn := &cicNode{s: s, n: m.Nodes[i], deps: make(map[ckpt.Dep]struct{})}
+		if s.opt.StartIndices != nil {
+			// Recovery continuation: surviving durable files keep their
+			// indices (files are written append-only, so index reuse would
+			// corrupt them), and the BCS logical clock must restart at the
+			// restored checkpoint's index to keep induced forcing correct.
+			cn.index = s.opt.StartIndices[i]
+		}
 		cn.jobs = sim.NewMailbox[func(p *sim.Proc)](m.Eng)
 		s.nodes[i] = cn
 		n := m.Nodes[i]
@@ -118,6 +131,12 @@ func (s *scheme) CheckpointPath(rank, index int) string { return cicPath(rank, i
 // consistent cuts" into the end-of-run zero-rollback guarantee: every send
 // precedes its sender's termination checkpoint.
 func (s *scheme) onAppExit(nodeID int) {
+	if s.stopped {
+		// Exit hooks outlive the scheme across a machine crash (they are
+		// per-machine, not per-incarnation): a stopped scheme must not take
+		// termination checkpoints for the replacement incarnation's exits.
+		return
+	}
 	cn := s.nodes[nodeID]
 	cn.index++
 	k := cn.index
@@ -250,7 +269,7 @@ func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte) {
 		return deps[i].SrcIndex < deps[j].SrcIndex
 	})
 	cn.deps = make(map[ckpt.Dep]struct{})
-	state = ckpt.PadImage(cn.n.Snap.Snapshot(), cn.n.M.Cfg.CkptImageBytes)
+	state = ckpt.PadImage(par.SnapshotAt(cn.n.Snap, cn.index), cn.n.M.Cfg.CkptImageBytes)
 	if cn.n.Lib != nil {
 		lib = cn.n.Lib.Snapshot()
 	}
@@ -330,10 +349,14 @@ func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gat
 			// and must not inflate the completed-checkpoint normalization.
 			s.stats.Checkpoints++
 		}
-		s.records = append(s.records, ckpt.Record{
+		rec := ckpt.Record{
 			Rank: cn.n.ID, Index: k, At: p.Now(),
 			StateBytes: len(state), Deps: deps,
-		})
+		}
+		s.records = append(s.records, rec)
+		if s.commitHook != nil {
+			s.commitHook([]ckpt.Record{rec})
+		}
 		if gate != nil {
 			gate.Open()
 		}
@@ -349,6 +372,17 @@ func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gat
 // cicPath is the stable-storage layout of CIC checkpoints, one file per
 // (node, index); indices can be sparse because forced checkpoints jump.
 func cicPath(rank, index int) string { return fmt.Sprintf("cic/n%03d/k%05d", rank, index) }
+
+// CheckpointPath exposes the stable-storage layout to the correctness
+// oracle (package check) and other external services that audit or reclaim
+// checkpoint files without holding a scheme instance.
+func CheckpointPath(rank, index int) string { return cicPath(rank, index) }
+
+// DecodeCheckpoint exposes the checkpoint-file decoder for recovery drivers
+// and durable-state audits implemented outside this package.
+func DecodeCheckpoint(b []byte) (index int, deps []ckpt.Dep, state, lib []byte, err error) {
+	return decodeCkpt(b)
+}
 
 // encodeCkpt packs a CIC checkpoint file: the index, the closed interval's
 // receive edges, the program state, and the message layer's state.

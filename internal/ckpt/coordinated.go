@@ -64,6 +64,8 @@ type coordinated struct {
 	records []Record
 	pending []Record // records of the in-flight round, promoted at commit
 
+	commitHook CommitHook // correctness-oracle hook, nil when disarmed
+
 	roundSpan obs.Span // open "ckpt.round" span of the in-flight round
 }
 
@@ -75,6 +77,10 @@ func (s *coordinated) Name() string     { return s.v.String() }
 func (s *coordinated) Variant() Variant { return s.v }
 func (s *coordinated) Stats() Stats     { return s.stats }
 func (s *coordinated) Stop()            { s.stopped = true }
+
+// SetCommitHook arms the correctness-oracle hook, fired once per committed
+// round with the round's records.
+func (s *coordinated) SetCommitHook(h CommitHook) { s.commitHook = h }
 
 func (s *coordinated) Records() []Record {
 	return append([]Record(nil), s.records...)
@@ -93,7 +99,15 @@ func (s *coordinated) Attach(m *par.Machine) {
 		m.StartDaemon(i, fmt.Sprintf("ckptd%d", i), cn.daemonLoop)
 	}
 	m.OnAllAppsDone(s.Stop)
-	m.OnAppExit(func(nodeID int) { s.nodes[nodeID].onAppExit() })
+	m.OnAppExit(func(nodeID int) {
+		if s.stopped {
+			// Exit hooks outlive the scheme across a machine crash (they are
+			// per-machine, not per-incarnation): a stopped scheme must not
+			// react to the replacement incarnation's application exits.
+			return
+		}
+		s.nodes[nodeID].onAppExit()
+	})
 	m.Eng.After(s.opt.firstAt(), s.startRound)
 }
 
@@ -221,6 +235,7 @@ func (s *coordinated) commitRound(round, attempt int) {
 	s.commitBusy = false
 	s.committedRound = round
 	s.abortStreak = 0
+	committed := s.pending
 	s.records = append(s.records, s.pending...)
 	s.pending = nil
 	s.stats.Rounds++
@@ -228,6 +243,9 @@ func (s *coordinated) commitRound(round, attempt int) {
 	s.stats.RoundLatency = append(s.stats.RoundLatency, s.m.Eng.Now().Sub(s.roundStart))
 	s.roundSpan.End()
 	s.m.Obs.InstantArg(0, obs.TidCoord, "ckpt.commit", "round", int64(round))
+	if s.commitHook != nil {
+		s.commitHook(committed)
+	}
 	coord := s.m.Nodes[0]
 	for i := range s.nodes {
 		s.proto(1)
@@ -252,6 +270,7 @@ type coordNode struct {
 	quarantine   []*fabric.Envelope
 	chanLog      []*mp.Message
 	stateBuf     []byte
+	chanBytes    int // durable channel-log size of the active round
 
 	stateWritten, chanQueued, chanWritten, acked bool
 
@@ -413,6 +432,7 @@ func (cn *coordNode) beginRound(round, attempt int) {
 	cn.quarantine = nil
 	cn.chanLog = nil
 	cn.stateBuf = nil
+	cn.chanBytes = 0
 	cn.stateWritten, cn.chanQueued, cn.chanWritten, cn.acked = false, false, false, false
 	cn.appGate = sim.NewGate(cn.n.M.Eng)
 	cn.tokenGate = sim.NewGate(cn.n.M.Eng)
@@ -473,7 +493,7 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 		start = p.Now()
 		blockedSpan = s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.blocked").WithArg("round", int64(round))
 	}
-	state := padImage(n.Snap.Snapshot(), n.M.Cfg.CkptImageBytes)
+	state := padImage(par.SnapshotAt(n.Snap, round), n.M.Cfg.CkptImageBytes)
 	if s.v.MemBuffered() && p != nil {
 		// Main-memory checkpointing: the application pays only for the copy.
 		d := n.M.MemCopyTime(len(state))
@@ -558,8 +578,12 @@ func (cn *coordNode) writeStateJob(round, attempt int, state []byte, tokenGate, 
 		}
 		s.m.Obs.Add(cn.n.ID, "ckpt.state_bytes", int64(len(state)))
 		s.stats.StateBytes += int64(len(state))
+		// The channel-log write may have completed first (its job is queued
+		// before this one when every marker beat the snapshot): carry the
+		// size it stashed, so the record is right in either completion order.
 		s.pending = append(s.pending, Record{
 			Rank: cn.n.ID, Index: round, At: p.Now(), StateBytes: len(state),
+			ChanBytes: cn.chanBytes,
 		})
 		cn.stateWritten = true
 		if s.v == CoordNB {
@@ -589,7 +613,6 @@ func (cn *coordNode) maybeFinishLogging() {
 		// round-2 (recovery treats a missing log file as empty). The delete
 		// must succeed — a stale log in the slot would replay round-2's
 		// channel messages on recovery — so a persistent failure nacks too.
-		cn.chanWritten = true
 		cn.jobs.Put(func(p *sim.Proc) {
 			if cn.round != round || cn.attempt != attempt {
 				return
@@ -602,6 +625,10 @@ func (cn *coordNode) maybeFinishLogging() {
 				cn.nack(p, round, attempt)
 				return
 			}
+			// Only now may the round ack: acking while the delete is still in
+			// flight would let the commit point precede it, and a crash in
+			// that window replays the stale log on recovery.
+			cn.chanWritten = true
 			cn.maybeAck(p, round)
 		})
 		return
@@ -625,6 +652,10 @@ func (cn *coordNode) maybeFinishLogging() {
 			return
 		}
 		cn.s.stats.ChanBytes += int64(len(data))
+		// Either the state write already appended this rank's pending record
+		// (fix it up) or it has not run yet (stash the size for it to pick
+		// up); which happens first depends on marker-versus-snapshot timing.
+		cn.chanBytes = len(data)
 		for i := range cn.s.pending {
 			if cn.s.pending[i].Rank == cn.n.ID && cn.s.pending[i].Index == round {
 				cn.s.pending[i].ChanBytes = len(data)

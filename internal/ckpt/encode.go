@@ -62,6 +62,15 @@ func parseMetaRecord(b []byte) (int, error) {
 	return round, nil
 }
 
+// DecodeChanLog exposes the channel-log decoder so the correctness oracle
+// (package check) can audit a committed round's logged in-transit messages
+// against its own send/delivery ledger.
+func DecodeChanLog(b []byte) ([]*mp.Message, error) { return decodeChanLog(b) }
+
+// ParseMetaRecord exposes the round-record decoder; a missing record means
+// no round ever committed (round 0).
+func ParseMetaRecord(b []byte) (int, error) { return parseMetaRecord(b) }
+
 // encodeIndepCkpt packs an independent checkpoint file: per-interval
 // dependency metadata, the program state, and the message layer's state
 // (sequence counters, needed by log-based recovery).
@@ -96,4 +105,11 @@ func decodeIndepCkpt(b []byte) (index int, deps []Dep, state, lib []byte, err er
 		return 0, nil, nil, nil, fmt.Errorf("ckpt: corrupt independent checkpoint: %v", r.Err())
 	}
 	return index, deps, state, lib, nil
+}
+
+// DecodeIndepCkpt exposes the independent-checkpoint decoder to the
+// correctness oracle (package check) and to recovery drivers implemented
+// outside this package.
+func DecodeIndepCkpt(b []byte) (index int, deps []Dep, state, lib []byte, err error) {
+	return decodeIndepCkpt(b)
 }

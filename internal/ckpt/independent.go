@@ -32,6 +32,8 @@ type independent struct {
 	stopped bool
 	stats   Stats
 	records []Record
+
+	commitHook CommitHook // correctness-oracle hook, nil when disarmed
 }
 
 func newIndependent(v Variant, opt Options) *independent {
@@ -42,6 +44,10 @@ func (s *independent) Name() string     { return s.v.String() }
 func (s *independent) Variant() Variant { return s.v }
 func (s *independent) Stats() Stats     { return s.stats }
 func (s *independent) Stop()            { s.stopped = true }
+
+// SetCommitHook arms the correctness-oracle hook, fired once per durably
+// completed checkpoint with its single record.
+func (s *independent) SetCommitHook(h CommitHook) { s.commitHook = h }
 
 // Records returns committed checkpoints ordered by completion time (ties by
 // rank) — the order they became durable.
@@ -62,6 +68,13 @@ func (s *independent) Attach(m *par.Machine) {
 	s.nodes = make([]*indepNode, m.NumNodes())
 	for i := range m.Nodes {
 		in := &indepNode{s: s, deps: make(map[Dep]struct{})}
+		if s.opt.StartIndices != nil {
+			// Recovery continuation: the durable files below the rollback line
+			// keep their indices, so the restarted node's next checkpoint must
+			// take the next free index (files are written append-only; index
+			// reuse would corrupt a survivor).
+			in.index = s.opt.StartIndices[i]
+		}
 		in.jobs = sim.NewMailbox[func(p *sim.Proc)](m.Eng)
 		s.nodes[i] = in
 		s.attachNode(i)
@@ -216,7 +229,7 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 	in.index++
 	in.taken++
 	k := in.index
-	state := padImage(n.Snap.Snapshot(), n.M.Cfg.CkptImageBytes)
+	state := padImage(par.SnapshotAt(n.Snap, k), n.M.Cfg.CkptImageBytes)
 	var lib []byte
 	var consumed []uint64
 	if n.Lib != nil {
@@ -285,10 +298,14 @@ func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Ga
 		s.m.Obs.InstantArg(in.n.ID, obs.TidDaemon, "ckpt.commit", "index", int64(k))
 		s.stats.StateBytes += int64(len(state))
 		s.stats.Checkpoints++
-		s.records = append(s.records, Record{
+		rec := Record{
 			Rank: in.n.ID, Index: k, At: p.Now(),
 			StateBytes: len(state), Deps: deps,
-		})
+		}
+		s.records = append(s.records, rec)
+		if s.commitHook != nil {
+			s.commitHook([]Record{rec})
+		}
 		if gate != nil {
 			gate.Open()
 		}

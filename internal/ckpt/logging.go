@@ -77,7 +77,7 @@ func RecoverNode(m *par.Machine, w *mp.World, sch Scheme, rank int, factory func
 			}
 			rep.StateBytes = len(state)
 			prog = factory(rank)
-			prog.Restore(state)
+			par.RestoreAt(prog, latest, state)
 			consumed = mp.ConsumedFromLibState(lib)
 			env := w.Launch(rank, prog)
 			env.RestoreLibState(lib)

@@ -91,7 +91,7 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 					if st.Err != nil {
 						panic(fmt.Sprintf("ckpt: recovery: missing state of rank %d round %d: %v", rank, round, st.Err))
 					}
-					prog.Restore(st.Data)
+					par.RestoreAt(prog, round, st.Data)
 					rep.StateBytes += int64(len(st.Data))
 					var msgs []*mp.Message
 					cl := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordChanPath(round, rank)})

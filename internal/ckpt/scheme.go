@@ -150,6 +150,15 @@ type Options struct {
 	// poor man's staggering optimization. Ignored by coordinated schemes
 	// (they stagger via the NBMS token ring).
 	Spread sim.Duration
+
+	// StartIndices, when non-nil, gives each rank's initial checkpoint index
+	// for independent and CIC schemes; rank r's next checkpoint is written
+	// at index StartIndices[r]+1. Recovery from a rollback line uses it so
+	// the restarted scheme never reuses an index: checkpoint files are
+	// written append-only, so reusing the index of a deleted (rolled-back)
+	// checkpoint would be a correctness bug even though the path is free
+	// again. Ignored by coordinated schemes (they continue via StartRound).
+	StartIndices []int
 }
 
 func (o Options) firstAt() sim.Duration {
@@ -228,6 +237,23 @@ type Scheme interface {
 	Stats() Stats
 	// Records lists the durably completed checkpoints, oldest first.
 	Records() []Record
+}
+
+// CommitHook observes checkpoints at the instant they become durably
+// committed: one whole round per call for coordinated schemes (fired right
+// after the round record's durable write — the 2PC commit point), one
+// record per call for independent and CIC schemes (fired when the
+// checkpoint file's final segment is durable). The hook runs synchronously
+// in the committing daemon's context and must not block or consume
+// simulated time; the correctness oracle (package check) uses it to audit
+// stable storage against the protocol's claims at every commit point.
+type CommitHook func(committed []Record)
+
+// CommitHooker is the optional interface schemes implement to accept a
+// CommitHook; package check type-asserts for it. A nil hook (the default)
+// is the zero-cost disarmed state.
+type CommitHooker interface {
+	SetCommitHook(CommitHook)
 }
 
 // Constructor builds a Scheme for a variant; external protocol families
@@ -425,6 +451,15 @@ func writeSegmentedChecked(p *sim.Proc, n *par.Node, path string, data []byte, r
 // checkpoint so external services (the garbage collector in package rdg)
 // can reclaim files.
 func IndepCheckpointPath(rank, index int) string { return indepPath(rank, index) }
+
+// CoordStatePath, CoordChanPath and CoordMetaPath expose the coordinated
+// scheme's durable layout so the correctness oracle (package check) can
+// audit stable storage against the committed records: the state and channel
+// slot files of a round and the round record whose durable write is the
+// 2PC commit point.
+func CoordStatePath(round, rank int) string { return coordStatePath(round, rank) }
+func CoordChanPath(round, rank int) string  { return coordChanPath(round, rank) }
+func CoordMetaPath() string                 { return coordMetaPath }
 
 // WriteSegmented exposes the segmented durable-write pipeline to protocol
 // families implemented outside this package (package cic): data is streamed

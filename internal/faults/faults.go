@@ -342,6 +342,35 @@ func (a *Armed) scheduleCrash(id int, after sim.Duration) {
 	})
 }
 
+// CrashTimes derives the first crash instant Arm would schedule for each of
+// n nodes — same root seed, same per-purpose stream derivation order, same
+// per-node draw order — without arming anything. The correctness oracle
+// uses it to pick crash points "drawn from the seeded faults plan" for
+// machines it crashes itself (it needs the instant before the run starts,
+// to bracket it against the baseline's execution time). Times beyond the
+// plan's horizon are returned unclamped so the caller decides how to fold
+// them into its experiment. A zero Crashes.MTTF falls back to the horizon
+// as the mean, since a plan used only for crash-point sampling has no
+// reason to configure full crash injection.
+func (pl Plan) CrashTimes(n int) []sim.Time {
+	root := rng.New(pl.Seed)
+	root.Uint64() // the storage stream's seed, discarded
+	root.Uint64() // the link stream's seed, discarded
+	crashRand := rng.New(root.Uint64())
+	mttf := pl.Crashes.MTTF
+	if mttf <= 0 {
+		mttf = pl.Horizon
+	}
+	if mttf <= 0 {
+		mttf = DefaultHorizon
+	}
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = sim.Time(0).Add(sim.Duration(crashRand.ExpFloat64() * float64(mttf)))
+	}
+	return out
+}
+
 // Report is the injection summary of one armed run, merged with the
 // machine-level retry counter by package core.
 type Report struct {

@@ -77,6 +77,19 @@ type World struct {
 	// rel is the ack/retransmit layer, armed by EnableRetransmit for runs
 	// over lossy links; nil (the default) adds no messages and no cost.
 	rel *reliable
+
+	// OnSend and OnDeliver are observation hooks for the correctness oracle
+	// (package check): OnSend sees every application-layer message right
+	// before it enters the fabric (collective-internal traffic included —
+	// filter on Tag >= 0 for application payloads); OnDeliver sees every
+	// message the moment Recv hands it to the caller, after duplicate
+	// suppression and the protocol consume hooks. Both run in the sending or
+	// receiving process's context, must not block, and consume no virtual
+	// time. nil — the default — is the zero-cost disarmed state: an
+	// uninstrumented run takes the exact same code paths and produces the
+	// exact same virtual schedule as before these hooks existed.
+	OnSend    func(src, dst int, m *Message)
+	OnDeliver func(rank int, m *Message)
 }
 
 // creditToken is the wakeup delivered to a sender's mailbox when a credit it
@@ -297,6 +310,9 @@ func (e *Env) send(dst, tag int, data []byte) {
 	e.BytesSent += int64(len(data))
 	e.node.M.Obs.Add(e.Rank, "mp.msgs_sent", 1)
 	e.node.M.Obs.Add(e.Rank, "mp.bytes_sent", int64(len(data)))
+	if e.W.OnSend != nil {
+		e.W.OnSend(e.Rank, dst, msg)
+	}
 	e.node.Send(e.P, fabric.NodeID(dst), par.PortApp, msg, len(data))
 	if e.node.LogSend != nil && dst != e.Rank {
 		e.node.LogSend(dst, msg)
@@ -359,6 +375,9 @@ func (e *Env) Recv(src, tag int) *Message {
 			}
 			if e.node.OnConsume != nil {
 				e.node.OnConsume(m.Src, m.Meta, m.SSN)
+			}
+			if e.W.OnDeliver != nil {
+				e.W.OnDeliver(e.Rank, m)
 			}
 			return m
 		}

@@ -112,6 +112,37 @@ type Snapshotter interface {
 	Restore(data []byte)
 }
 
+// IndexedSnapshotter is an optional extension of Snapshotter: a program that
+// implements it is told which checkpoint each capture or rollback belongs to
+// (the coordinated round number, or the rank's checkpoint index for the
+// autonomous families). The checkpointing layer probes for it with a type
+// assertion — a host-side branch costing no virtual time — so an
+// instrumentation wrapper can keep per-checkpoint side tables without
+// growing the checkpoint image it is supposed to be observing.
+type IndexedSnapshotter interface {
+	Snapshotter
+	SnapshotAt(index int) []byte
+	RestoreAt(index int, data []byte)
+}
+
+// SnapshotAt captures s's state for checkpoint index, telling the program
+// the index when it listens for one.
+func SnapshotAt(s Snapshotter, index int) []byte {
+	if is, ok := s.(IndexedSnapshotter); ok {
+		return is.SnapshotAt(index)
+	}
+	return s.Snapshot()
+}
+
+// RestoreAt rolls s back to the state captured for checkpoint index.
+func RestoreAt(s Snapshotter, index int, data []byte) {
+	if is, ok := s.(IndexedSnapshotter); ok {
+		is.RestoreAt(index, data)
+		return
+	}
+	s.Restore(data)
+}
+
 // Action is a unit of checkpointing work executed in the application
 // process's context at its next safe point (any message-passing library
 // call). Blocking checkpoint variants park the application inside Run.

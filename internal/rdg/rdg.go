@@ -128,6 +128,20 @@ func (g *Graph) Consistent(line []int) bool {
 	return true
 }
 
+// OrphanEdges returns the edges that make a line inconsistent: persisted
+// receives whose matching send the line excludes. Empty for a consistent
+// line; the correctness oracle reports them verbatim when an invariant
+// trips, so a violation names the exact orphan messages.
+func (g *Graph) OrphanEdges(line []int) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if line[e.Receiver] >= e.RecvCkpt && line[e.Sender] <= e.SentInterval {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // ZeroRollback reports whether the maximal consistent recovery line is the
 // set of latest checkpoints — a failure "now" loses no checkpointed work on
 // any rank. This is the guarantee the CIC family provides at end of run and

@@ -285,6 +285,16 @@ func (s *Server) QueueLen() int { return s.reqs.Len() }
 // NumFiles returns the number of durable files.
 func (s *Server) NumFiles() int { return len(s.files) }
 
+// Peek returns the durable contents of path without consuming simulated
+// time or passing through the request queue. It exists for the correctness
+// oracle (package check) and tests: invariant checks must inspect the
+// durable area exactly as a post-crash recovery would see it, but must not
+// perturb the schedule of the run being checked.
+func (s *Server) Peek(path string) ([]byte, bool) {
+	data, ok := s.files[path]
+	return data, ok
+}
+
 // DurablePaths returns the sorted paths of the durable area (test and
 // diagnostic helper: asserting that an aborted round left no partial state).
 func (s *Server) DurablePaths() []string {
