@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz vet check ci
+.PHONY: build test race fuzz vet check bench-perf ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,16 @@ vet:
 CHECKFLAGS ?= -quick
 check:
 	$(GO) run ./cmd/chkcheck $(CHECKFLAGS)
+
+# Perf-trajectory harness (cmd/chkperf): run the pinned cell matrix with host
+# telemetry armed and write one BENCH_<stamp>.json data point — cells/sec,
+# events/sec, allocs/cell, per-cell wall-clock quantiles — so the engine's
+# speed is tracked commit over commit. PERFFLAGS=-quick runs the reduced
+# matrix CI gates on; `go run ./cmd/chkperf -compare BENCH_baseline.json
+# BENCH_<stamp>.json -threshold 10` diffs two points.
+PERFFLAGS ?=
+bench-perf:
+	$(GO) run ./cmd/chkperf $(PERFFLAGS)
 
 # What the GitHub workflow runs (.github/workflows/ci.yml): the full suite
 # under the race detector, plus build, vet, and the fuzz smoke.

@@ -33,6 +33,12 @@
 //	chkbench -metrics                        # overhead breakdown per scheme for -app
 //	chkbench -metrics -scheme NBMS           # breakdown + full metric summary of one scheme
 //
+// Host profiling (the flags shared by every command, see internal/perf):
+//
+//	chkbench -cpuprofile cpu.out             # pprof CPU profile of the invocation
+//	chkbench -memprofile mem.out             # heap profile at exit
+//	chkbench -pprof localhost:6060           # live net/http/pprof while running
+//
 // Any failing cell aborts the run with a non-zero exit status and a message
 // naming the cell and its replay seed; partial tables are never printed as if
 // they were complete.
@@ -52,6 +58,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -68,7 +75,7 @@ func main() {
 // run is the whole command behind a testable seam: every failure — flag
 // misuse, an unknown name, or any benchmark cell erroring mid-matrix —
 // returns a non-nil error, and main maps non-nil onto a non-zero exit.
-func run(args []string, out, errw io.Writer) error {
+func run(args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("chkbench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	table := fs.String("table", "", "table to regenerate: 1, 2, 3 or all")
@@ -84,9 +91,19 @@ func run(args []string, out, errw io.Writer) error {
 	scheme := fs.String("scheme", "", "scheme for -trace/-metrics, see -list (default NBMS for -trace, all Table 2 schemes for -metrics)")
 	ckpts := fs.Int("ckpts", 3, "checkpoints per run for -trace/-metrics")
 	list := fs.Bool("list", false, "list the known applications and schemes, then exit")
+	var prof perf.Profile
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(errw); err != nil {
+		return err
+	}
+	defer func() {
+		if e := prof.Stop(); err == nil && e != nil {
+			err = e
+		}
+	}()
 
 	if *list {
 		fmt.Fprintln(out, "Applications (-app NAME-SIZE; the size scales the per-node state):")

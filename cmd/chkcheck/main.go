@@ -17,6 +17,8 @@
 //	chkcheck -seedlist FILE           # on failure, record the failing cell and
 //	                                  # seed to FILE (the CI artifact)
 //	chkcheck -cell NAME -trace out.json   # Chrome trace of one reproduction
+//	chkcheck -full -cpuprofile cpu.out    # shared host-profiling flags
+//	                                      # (-cpuprofile/-memprofile/-pprof)
 //
 // The sweep is fail-fast and deterministic: the first failing cell cancels
 // dispatch, and under any parallelism the lowest-indexed failure is the one
@@ -39,6 +41,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -52,7 +55,7 @@ func main() {
 	}
 }
 
-func run(args []string, out, errw io.Writer) error {
+func run(args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("chkcheck", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	quick := fs.Bool("quick", false, "run the CI sweep: 2 apps x 7 schemes x 4 strata x 4 seeds (the default)")
@@ -62,9 +65,19 @@ func run(args []string, out, errw io.Writer) error {
 	verbose := fs.Bool("v", false, "log every recovered cell")
 	seedlist := fs.String("seedlist", "", "on sweep failure, write the failing cell name and seed to this file")
 	traceOut := fs.String("trace", "", "with -cell: write a Chrome trace of the reproduction to this file")
+	var prof perf.Profile
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(errw); err != nil {
+		return err
+	}
+	defer func() {
+		if e := prof.Stop(); err == nil && e != nil {
+			err = e
+		}
+	}()
 	if *quick && *full {
 		return errors.New("-quick and -full are mutually exclusive")
 	}

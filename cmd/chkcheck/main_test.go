@@ -2,6 +2,7 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,22 @@ import (
 	"repro/internal/bench"
 	"repro/internal/check"
 )
+
+// TestHelpListsProfilingFlags guards against flag-help drift: -h must list
+// the host-profiling flags shared by every command (internal/perf), and the
+// help request itself must surface as flag.ErrHelp (main exits 2).
+func TestHelpListsProfilingFlags(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-h"}, &out, &errw)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("err = %v, want flag.ErrHelp", err)
+	}
+	for _, want := range []string{"-cpuprofile", "-memprofile", "-pprof"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, errw.String())
+		}
+	}
+}
 
 // TestRunSingleCell reproduces one cell of each protocol family end to end
 // through the command seam — the same path `chkcheck -cell NAME` takes when a

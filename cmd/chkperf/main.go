@@ -1,0 +1,171 @@
+// Command chkperf is the perf-trajectory harness: it runs a pinned
+// (workload, scheme) matrix with host telemetry armed and writes one
+// BENCH_<stamp>.json data point — cells/sec, events/sec, allocations per
+// cell, per-cell wall-clock quantiles — so the repository accumulates a
+// commit-over-commit record of how fast the simulator actually is.
+//
+// Usage:
+//
+//	chkperf                      # full pinned matrix -> BENCH_<stamp>.json
+//	chkperf -quick               # reduced matrix (the CI perf-smoke cell set)
+//	chkperf -o current.json      # explicit output path
+//	chkperf -parallel 4          # saturate the pool (totals stay valid; per-cell
+//	                             # allocation attribution is exact only at 1)
+//	chkperf -cpuprofile cpu.out  # plus any of the shared profiling flags
+//
+// Regression gate (CI):
+//
+//	chkperf -compare baseline.json current.json -threshold 10
+//
+// exits non-zero when cells/sec or events/sec dropped, or allocs/cell grew,
+// by more than the threshold. Wall-clock throughput varies with the host, so
+// cross-machine gates should use a generous threshold (CI uses 90);
+// allocs/cell is host-independent and meaningful at tight thresholds.
+//
+// The matrices are pinned (see internal/bench: "pinned-v1", "quick-v1") and
+// stamped into every report; -compare refuses to diff reports of different
+// matrices or schemas.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/par"
+	"repro/internal/perf"
+)
+
+// errRegressed marks a -compare run that found regressions: the report went
+// to stdout already, so main exits non-zero without re-printing.
+var errRegressed = errors.New("performance regressed")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	switch {
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(2)
+	case errors.Is(err, errRegressed):
+		os.Exit(1)
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "chkperf:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command behind a testable seam: every failure — flag
+// misuse, a failing cell, a regression past the threshold — returns a
+// non-nil error, and main maps non-nil onto a non-zero exit.
+func run(args []string, out, errw io.Writer) (err error) {
+	fs := flag.NewFlagSet("chkperf", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	quick := fs.Bool("quick", false, "run the reduced quick-v1 matrix instead of pinned-v1")
+	parallel := fs.Int("parallel", 1, "worker goroutines (1 = exact per-cell allocation attribution)")
+	outFile := fs.String("o", "", "output path (default BENCH_<stamp>.json in the current directory)")
+	verbose := fs.Bool("v", false, "log every run")
+	compare := fs.String("compare", "", "compare `baseline.json` against a current report (the first positional argument) instead of running")
+	threshold := fs.Float64("threshold", 10, "with -compare: max tolerated regression in percent")
+	var prof perf.Profile
+	prof.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *compare != "" {
+		// `chkperf -compare baseline.json current.json -threshold 10`: the
+		// flag package stops at the positional current.json, so re-parse the
+		// remainder to honour trailing flags.
+		rest := fs.Args()
+		if len(rest) < 1 {
+			return fmt.Errorf("-compare needs the current report as an argument: chkperf -compare baseline.json current.json")
+		}
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		return runCompare(out, *compare, rest[0], *threshold)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (positional arguments are only used with -compare)", fs.Arg(0))
+	}
+
+	if err := prof.Start(errw); err != nil {
+		return err
+	}
+	defer func() {
+		if e := prof.Stop(); err == nil && e != nil {
+			err = e
+		}
+	}()
+
+	var prog bench.Progress
+	if *verbose {
+		prog = bench.NewLineProgress(errw)
+	}
+	r := bench.NewRunner(*parallel, prog)
+	// Ctrl-C stops dispatching new cells; in-flight simulations finish first.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	stamp := time.Now().UTC().Format("20060102T150405Z")
+	rep, err := bench.RunPerf(ctx, par.DefaultConfig(), *quick, r, stamp)
+	if err != nil {
+		return err
+	}
+
+	name := *outFile
+	if name == "" {
+		name = "BENCH_" + stamp + ".json"
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := perf.WriteReport(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	t := rep.Totals
+	fmt.Fprintf(out, "chkperf: matrix %s: %d cells in %.1fs — %.2f cells/sec, %.3gM events/sec, %.3gM allocs/cell\n",
+		rep.Matrix, t.Cells, t.ElapsedSec, t.CellsPerSec, t.EventsPerSec/1e6, t.AllocsPerCell/1e6)
+	fmt.Fprintf(out, "chkperf: cell wall p50/p95/p99 = %.0f/%.0f/%.0f ms\n",
+		t.CellWallP50MS, t.CellWallP95MS, t.CellWallP99MS)
+	fmt.Fprintf(out, "chkperf: wrote %s\n", name)
+	return nil
+}
+
+// runCompare diffs two reports and prints every regressed metric; any
+// regression (or unreadable/mismatched report) makes the command exit
+// non-zero.
+func runCompare(out io.Writer, basePath, curPath string, threshold float64) error {
+	base, err := perf.ReadReport(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := perf.ReadReport(curPath)
+	if err != nil {
+		return err
+	}
+	regs, err := perf.Compare(base, cur, threshold)
+	if err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "chkperf: no regression beyond %.0f%% (matrix %s, baseline %s vs current %s)\n",
+			threshold, base.Matrix, base.Stamp, cur.Stamp)
+		return nil
+	}
+	fmt.Fprintf(out, "chkperf: %d metric(s) regressed beyond %.0f%% (matrix %s, baseline %s vs current %s):\n",
+		len(regs), threshold, base.Matrix, base.Stamp, cur.Stamp)
+	for _, r := range regs {
+		fmt.Fprintf(out, "  %s\n", r)
+	}
+	return errRegressed
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/perf"
+)
+
+// TestHelpListsProfilingFlags guards against flag-help drift: -h must list
+// the host-profiling flags shared by every command (internal/perf), and the
+// help request itself must surface as flag.ErrHelp (main exits 2).
+func TestHelpListsProfilingFlags(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-h"}, &out, &errw)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("err = %v, want flag.ErrHelp", err)
+	}
+	for _, want := range []string{"-cpuprofile", "-memprofile", "-pprof"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, errw.String())
+		}
+	}
+}
+
+// TestRunBadUsageFails covers the misuse paths: unknown flag, a stray
+// positional argument, and -compare without its current-report argument.
+func TestRunBadUsageFails(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"stray.json"},
+		{"-compare", "base.json"},
+	} {
+		var out, errw strings.Builder
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+}
+
+// writeReport drops a fabricated BENCH_*.json into dir and returns its path.
+func writeReport(t *testing.T, dir, name string, rep *perf.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perf.WriteReport(f, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fakeReport(stamp string, cellsPerSec, eventsPerSec, allocsPerCell float64) *perf.Report {
+	return &perf.Report{
+		Schema: perf.Schema,
+		Stamp:  stamp,
+		Matrix: bench.PerfMatrixQuick,
+		Totals: perf.Totals{
+			CellsPerSec:   cellsPerSec,
+			EventsPerSec:  eventsPerSec,
+			AllocsPerCell: allocsPerCell,
+		},
+	}
+}
+
+// TestCompareGate pins the regression gate the CI perf-smoke job relies on:
+// a doctored current report that dropped throughput past the threshold exits
+// non-zero naming the metric; the same pair passes under a generous trailing
+// -threshold (which must survive the positional argument); and reports from
+// different pinned matrices refuse to compare at all.
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", fakeReport("20260101T000000Z", 10, 2e6, 5e6))
+	regressed := writeReport(t, dir, "cur.json", fakeReport("20260102T000000Z", 4, 2e6, 5e6)) // -60% cells/sec
+
+	var out, errw strings.Builder
+	err := run([]string{"-compare", base, regressed}, &out, &errw)
+	if !errors.Is(err, errRegressed) {
+		t.Fatalf("err = %v, want errRegressed", err)
+	}
+	if !strings.Contains(out.String(), "cells_per_sec") {
+		t.Fatalf("regression report does not name the metric:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-compare", base, regressed, "-threshold", "90"}, &out, &errw); err != nil {
+		t.Fatalf("generous threshold: %v", err)
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Fatalf("pass report missing:\n%s", out.String())
+	}
+
+	// Allocations per cell regress upward.
+	bloated := writeReport(t, dir, "bloat.json", fakeReport("20260103T000000Z", 10, 2e6, 9e6))
+	out.Reset()
+	if err := run([]string{"-compare", base, bloated}, &out, &errw); !errors.Is(err, errRegressed) {
+		t.Fatalf("err = %v, want errRegressed for allocs_per_cell", err)
+	}
+
+	otherMatrix := fakeReport("20260104T000000Z", 10, 2e6, 5e6)
+	otherMatrix.Matrix = bench.PerfMatrixFull
+	other := writeReport(t, dir, "other.json", otherMatrix)
+	err = run([]string{"-compare", base, other}, &out, &errw)
+	if err == nil || errors.Is(err, errRegressed) || !strings.Contains(err.Error(), "matrix mismatch") {
+		t.Fatalf("err = %v, want matrix-mismatch failure", err)
+	}
+}
+
+// TestRunQuickMatrix runs the real quick-v1 matrix end to end through the
+// command seam and validates the written BENCH_*.json — the acceptance
+// criterion that `make bench-perf` produces a well-formed trajectory point.
+func TestRunQuickMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the quick perf matrix (seconds)")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var out, errw strings.Builder
+	if err := run([]string{"-quick", "-o", path}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matrix != bench.PerfMatrixQuick {
+		t.Fatalf("matrix = %q, want %q", rep.Matrix, bench.PerfMatrixQuick)
+	}
+	t0 := rep.Totals
+	if t0.Cells == 0 || t0.CellsPerSec <= 0 || t0.Events == 0 || t0.EventsPerSec <= 0 {
+		t.Fatalf("throughput totals not populated: %+v", t0)
+	}
+	if t0.AllocsPerCell <= 0 || t0.CellWallP50MS <= 0 || t0.CellWallP99MS < t0.CellWallP50MS {
+		t.Fatalf("allocation or quantile totals not populated: %+v", t0)
+	}
+	for _, c := range rep.Cells {
+		if c.Events == 0 || c.WallMS <= 0 {
+			t.Fatalf("cell %s missing telemetry: %+v", c.Cell, c)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Fatalf("summary missing output path:\n%s", out.String())
+	}
+}

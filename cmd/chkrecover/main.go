@@ -10,6 +10,9 @@
 //
 // Any failing experiment cell aborts the run with a non-zero exit status and
 // a message naming the cell and its replay seed.
+//
+// The shared host-profiling flags (-cpuprofile, -memprofile, -pprof) are
+// available here as in every command; see internal/perf.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/par"
+	"repro/internal/perf"
 	"repro/internal/sim"
 )
 
@@ -45,7 +49,7 @@ func main() {
 
 // run is the whole command behind a testable seam: every failure returns a
 // non-nil error, and main maps non-nil onto a non-zero exit.
-func run(args []string, out, errw io.Writer) error {
+func run(args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("chkrecover", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	exp := fs.String("exp", "coord", "experiment: coord, domino, logging or avail")
@@ -56,9 +60,19 @@ func run(args []string, out, errw io.Writer) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines for -exp domino/avail cells (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "override every -exp avail cell's fault-plan seed (0 = per-cell seeds)")
 	verbose := fs.Bool("v", false, "log every run")
+	var prof perf.Profile
+	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := prof.Start(errw); err != nil {
+		return err
+	}
+	defer func() {
+		if e := prof.Stop(); err == nil && e != nil {
+			err = e
+		}
+	}()
 
 	var prog bench.Progress
 	if *verbose {

@@ -2,9 +2,26 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"strings"
 	"testing"
 )
+
+// TestHelpListsProfilingFlags guards against flag-help drift: -h must list
+// the host-profiling flags shared by every command (internal/perf), and the
+// help request itself must surface as flag.ErrHelp (main exits 2).
+func TestHelpListsProfilingFlags(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-h"}, &out, &errw)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("err = %v, want flag.ErrHelp", err)
+	}
+	for _, want := range []string{"-cpuprofile", "-memprofile", "-pprof"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, errw.String())
+		}
+	}
+}
 
 // TestRunUnknownExperimentIsUsage pins the distinct exit paths: misuse is
 // errUsage (exit 2), a failing experiment is a plain error (exit 1).

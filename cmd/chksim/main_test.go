@@ -1,0 +1,48 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestHelpListsProfilingFlags guards against flag-help drift: -h must list
+// the host-profiling flags shared by every command (internal/perf), and the
+// help request itself must surface as flag.ErrHelp (main exits 2).
+func TestHelpListsProfilingFlags(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-h"}, &out, &errw)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("err = %v, want flag.ErrHelp", err)
+	}
+	for _, want := range []string{"-cpuprofile", "-memprofile", "-pprof"} {
+		if !strings.Contains(errw.String(), want) {
+			t.Fatalf("-h output missing %q:\n%s", want, errw.String())
+		}
+	}
+}
+
+// TestRunBadFlagFails proves flag misuse surfaces as an error (main exits
+// non-zero) — before the run-seam refactor chksim used the global FlagSet and
+// could only be observed as a process exit.
+func TestRunBadFlagFails(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-no-such-flag"}, &out, &errw); err == nil {
+		t.Fatal("run with an unknown flag returned nil")
+	}
+}
+
+// TestRunValidationFails covers the resolution and dependent-flag error
+// paths: unknown workload, unknown scheme, -trace without -scheme.
+func TestRunValidationFails(t *testing.T) {
+	for _, args := range [][]string{
+		{"-app", "NOPE-1"},
+		{"-trace", "x.json"},
+	} {
+		var out, errw strings.Builder
+		if err := run(args, &out, &errw); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+}

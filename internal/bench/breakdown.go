@@ -49,7 +49,7 @@ func MeasureBreakdown(cfg par.Config, wl apps.Workload, schemes []ckpt.Variant, 
 // over the pool and assemble in scheme order.
 func (r *Runner) MeasureBreakdown(ctx context.Context, cfg par.Config, wl apps.Workload, schemes []ckpt.Variant, ckpts int) (sim.Duration, []Breakdown, error) {
 	r = r.orDefault()
-	base, err := core.Run(wl, core.Config{Machine: cfg})
+	base, err := core.Run(wl, core.Config{Machine: cfg, Perf: r.Perf})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -69,6 +69,7 @@ func (r *Runner) MeasureBreakdown(ctx context.Context, cfg par.Config, wl apps.W
 			Interval:       interval,
 			MaxCheckpoints: ckpts,
 			Obs:            o,
+			Perf:           r.Perf,
 		})
 		if err != nil {
 			return fmt.Errorf("bench: %s under %v: %w", wl.Name, v, err)

@@ -49,10 +49,17 @@ type JSONCellTime struct {
 // wall-clock varies run to run, and the default report must stay
 // byte-identical across parallelism levels.
 type JSONTiming struct {
-	Parallel     int            `json:"parallel"`
-	ElapsedSec   float64        `json:"elapsed_sec"`
-	TotalCellSec float64        `json:"total_cell_sec"`
-	Cells        []JSONCellTime `json:"cells"`
+	Parallel     int     `json:"parallel"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	TotalCellSec float64 `json:"total_cell_sec"`
+
+	// Per-cell wall-clock quantiles (seconds), interpolated through the same
+	// obs.Histogram machinery as the virtual-time metrics (WallQuantiles).
+	WallP50Sec float64 `json:"wall_p50_sec"`
+	WallP95Sec float64 `json:"wall_p95_sec"`
+	WallP99Sec float64 `json:"wall_p99_sec"`
+
+	Cells []JSONCellTime `json:"cells"`
 }
 
 // JSONReport is the machine-readable form of the reproduced tables.
@@ -67,9 +74,13 @@ type JSONReport struct {
 // cells and the real elapsed time of the whole invocation.
 func TimingReport(r *Runner, elapsed time.Duration) *JSONTiming {
 	t := &JSONTiming{Parallel: r.parallel(), ElapsedSec: elapsed.Seconds()}
-	for _, ct := range r.Timings() {
+	timings := r.Timings()
+	for _, ct := range timings {
 		t.TotalCellSec += ct.Wall.Seconds()
 		t.Cells = append(t.Cells, JSONCellTime{Cell: ct.Cell.Name(), WallSec: ct.Wall.Seconds()})
+	}
+	if len(timings) > 0 {
+		t.WallP50Sec, t.WallP95Sec, t.WallP99Sec = WallQuantiles(timings)
 	}
 	return t
 }

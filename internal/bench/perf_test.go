@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/par"
+)
+
+// TestRunPerfQuickMatrix runs the pinned quick matrix end to end and checks
+// the report is fully populated — and that the armed telemetry leaves no
+// goroutines behind: the collector is passive (no background flusher) and
+// every simulated machine's daemons are reaped by Shutdown, so a perf run
+// exits goroutine-clean like any other.
+func TestRunPerfQuickMatrix(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	r := NewRunner(1, nil)
+	rep, err := RunPerf(context.Background(), par.DefaultConfig(), true, r, "20260807T000000Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matrix != PerfMatrixQuick || rep.Stamp != "20260807T000000Z" || rep.Parallel != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	// 2 workloads x (1 fault-free baseline + 3 schemes).
+	wantCells := 2 * (1 + 3)
+	if rep.Totals.Cells != wantCells || len(rep.Cells) != wantCells {
+		t.Fatalf("cells = %d (%d reports), want %d", rep.Totals.Cells, len(rep.Cells), wantCells)
+	}
+	tot := rep.Totals
+	if tot.Events == 0 || tot.EventsPerSec <= 0 || tot.CellsPerSec <= 0 || tot.AllocsPerCell <= 0 {
+		t.Fatalf("totals not populated: %+v", tot)
+	}
+	if tot.CellWallP50MS <= 0 || tot.CellWallP95MS < tot.CellWallP50MS || tot.CellWallP99MS < tot.CellWallP95MS {
+		t.Fatalf("quantiles not ordered: %+v", tot)
+	}
+	for _, c := range rep.Cells {
+		if c.Events == 0 || c.Procs == 0 || c.WallMS <= 0 {
+			t.Fatalf("cell %s missing telemetry: %+v", c.Cell, c)
+		}
+	}
+
+	// Serial run: the scheme cells moved checkpoint images through the codec.
+	if tot.EncBytes == 0 {
+		t.Fatalf("codec encode counter never moved: %+v", tot)
+	}
+
+	// No goroutine may outlive the matrix. Allow the runtime a moment to
+	// retire exiting goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after the perf matrix", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWallQuantiles checks the tail summary added to `chkbench -celltime`:
+// quantiles are ordered and clamped to the observed extremes.
+func TestWallQuantiles(t *testing.T) {
+	timings := []CellTime{
+		{Wall: 10 * time.Millisecond},
+		{Wall: 20 * time.Millisecond},
+		{Wall: 30 * time.Millisecond},
+		{Wall: 40 * time.Millisecond},
+		{Wall: 400 * time.Millisecond},
+	}
+	p50, p95, p99 := WallQuantiles(timings)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not ordered: %v %v %v", p50, p95, p99)
+	}
+	if p50 < 0.01 || p99 > 0.4+1e-9 {
+		t.Fatalf("quantiles outside observed range [0.01, 0.4]: %v %v %v", p50, p95, p99)
+	}
+}

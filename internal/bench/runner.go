@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -85,6 +86,13 @@ type Runner struct {
 	// "bench.cell_wall_seconds" histogram and the "bench.cells_run" counter,
 	// recorded as each cell completes. The observer synchronizes internally.
 	Obs *obs.Observer
+
+	// Perf, when non-nil, arms host-side telemetry on every cell the runner
+	// measures (MeasureRows, RunMatrix, MeasureBreakdown): each core.Run
+	// records one perf.RunSample into the collector. Per-cell MemStats and
+	// codec attribution is exact only at Parallel == 1; matrix totals hold
+	// at any parallelism. nil (the default) costs nothing.
+	Perf *perf.Collector
 
 	mu      sync.Mutex
 	timings []CellTime
@@ -227,7 +235,7 @@ func (r *Runner) MeasureRows(ctx context.Context, cfg par.Config, wls []apps.Wor
 		baseCells[i] = Cell{App: wl.Name, Scheme: "normal"}
 	}
 	err := r.ForEach(ctx, baseCells, func(ctx context.Context, i int, c Cell) error {
-		base, err := core.Run(wls[i], core.Config{Machine: cfg})
+		base, err := core.Run(wls[i], core.Config{Machine: cfg, Perf: r.Perf})
 		if err != nil {
 			return err
 		}
@@ -267,6 +275,7 @@ func (r *Runner) MeasureRows(ctx context.Context, cfg par.Config, wls []apps.Wor
 			Scheme:         v,
 			Interval:       row.Interval,
 			MaxCheckpoints: ckpts,
+			Perf:           r.Perf,
 		})
 		if err != nil {
 			return err // ForEach adds the cell name and seed
@@ -324,7 +333,7 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg par.Config, wls []apps.Workl
 		baseCells[i] = Cell{App: wl.Name, Scheme: "normal"}
 	}
 	err := r.ForEach(ctx, baseCells, func(ctx context.Context, i int, c Cell) error {
-		base, err := core.Run(wls[i], core.Config{Machine: cfg})
+		base, err := core.Run(wls[i], core.Config{Machine: cfg, Perf: r.Perf})
 		if err != nil {
 			return err
 		}
@@ -356,6 +365,7 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg par.Config, wls []apps.Workl
 			Scheme:         schemes[si],
 			Interval:       intervals[wi],
 			MaxCheckpoints: ckpts,
+			Perf:           r.Perf,
 		})
 		if err != nil {
 			return err // ForEach adds the cell name and seed
@@ -372,7 +382,9 @@ func (r *Runner) RunMatrix(ctx context.Context, cfg par.Config, wls []apps.Workl
 
 // WriteCellTimes renders the per-cell wall-clock table, most expensive cells
 // first, with the serial total — the number to compare against elapsed real
-// time to see the pool's speedup.
+// time to see the pool's speedup — and the p50/p95/p99 tail summary of the
+// per-cell distribution (interpolated through obs.Histogram, see
+// WallQuantiles).
 func WriteCellTimes(w io.Writer, timings []CellTime) {
 	sorted := append([]CellTime(nil), timings...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Wall > sorted[j].Wall })
@@ -384,6 +396,10 @@ func WriteCellTimes(w io.Writer, timings []CellTime) {
 		t.Rowf(ct.Cell.Name(), fmt.Sprintf("%.3fs", ct.Wall.Seconds()))
 	}
 	t.Rowf("TOTAL (serial cost)", fmt.Sprintf("%.3fs", total.Seconds()))
+	if len(sorted) > 0 {
+		p50, p95, p99 := WallQuantiles(timings)
+		t.Rowf("p50 / p95 / p99", fmt.Sprintf("%.3fs / %.3fs / %.3fs", p50, p95, p99))
+	}
 	t.Write(w)
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mp"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/perf"
 	"repro/internal/sim"
 )
 
@@ -29,6 +30,12 @@ type CellSpec struct {
 	// Obs optionally instruments the cell's machine (single-cell repro mode;
 	// an Observer must not be shared across concurrently running cells).
 	Obs *obs.Observer
+
+	// Perf optionally records the cell's host-side cost (wall-clock phases,
+	// event throughput, allocations). Unlike Obs it is safe to share across
+	// concurrent cells, but per-cell allocation attribution is exact only
+	// when cells run serially; arming it never changes a cell's outcome.
+	Perf *perf.Collector
 }
 
 // CellResult summarizes a clean cell for reporting.
@@ -159,6 +166,12 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 	}
 	res.CrashAt = crashPoint(spec, b.exec)
 
+	// The sampler covers the cell machine only (the cached baseline is shared
+	// across cells); registered before the Shutdown defer so its Finish —
+	// defers run LIFO — attributes the goroutine reaping to the Shutdown
+	// phase.
+	ps := spec.Perf.Begin(spec.Workload.Name, spec.Scheme.String())
+	defer ps.Finish()
 	m := par.NewMachine(o.Cfg)
 	defer m.Shutdown()
 	if spec.Obs != nil {
@@ -183,6 +196,7 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 	for rank := 0; rank < n; rank++ {
 		w.Launch(rank, factory(rank))
 	}
+	ps.EndSetup()
 
 	repair := interval / 4
 	if repair < 1 {
@@ -222,6 +236,8 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 	if err := m.Run(); err != nil {
 		return res, fmt.Errorf("crash at %v: %w", res.CrashAt, err)
 	}
+	m.CollectPerf(ps)
+	ps.EndSim()
 	res.Exec = sim.Duration(m.AppsFinished)
 
 	a.finish()
@@ -235,6 +251,7 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 		}
 	}
 	equivalence(a, b, h, cur)
+	ps.EndCheck()
 	m.Obs.Add(0, "check.invariant_checks", a.checks)
 	res.Checks = a.checks
 	if err := a.err(); err != nil {

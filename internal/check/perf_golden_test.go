@@ -1,0 +1,105 @@
+package check
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/par"
+	"repro/internal/perf"
+)
+
+// TestArmedPerfTelemetryGoldenTables is the determinism guarantee of the
+// host-telemetry layer (the armed counterpart of the disarmed-oracle golden
+// test above): a benchmark matrix measured with a live perf.Collector —
+// phase clocks running, MemStats sampled, codec byte counters latched on for
+// the whole process — renders Tables 1–3 byte-identical to the plain
+// pipeline. The collector only ever reads host clocks and host counters, so
+// it must not move a single virtual-time measurement.
+func TestArmedPerfTelemetryGoldenTables(t *testing.T) {
+	cfg := par.DefaultConfig()
+	var wls []apps.Workload
+	for _, name := range []string{"SOR-64", "TSP-10"} {
+		wl, err := bench.WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls = append(wls, wl)
+	}
+	const ckpts = 3
+
+	measure := func(collector *perf.Collector) string {
+		r := bench.NewRunner(0, nil)
+		r.Perf = collector
+		rows, err := r.MeasureRows(context.Background(), cfg, wls, bench.Table1Schemes, ckpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		bench.WriteTable1(&sb, rows)
+		bench.WriteTable2(&sb, rows)
+		bench.WriteTable3(&sb, rows)
+		return sb.String()
+	}
+
+	plain := measure(nil)
+	armed := perf.NewCollector()
+	instrumented := measure(armed)
+	if plain != instrumented {
+		t.Errorf("Tables 1-3 differ under armed perf telemetry:\n--- plain ---\n%s\n--- armed ---\n%s",
+			plain, instrumented)
+	}
+
+	// The telemetry must actually have measured the runs it rode along on:
+	// one sample per simulation (baselines included), each with live engine
+	// counters and a positive wall clock.
+	samples := armed.Samples()
+	wantRuns := len(wls) * (1 + len(bench.Table1Schemes)) // baseline + each scheme
+	if len(samples) != wantRuns {
+		t.Fatalf("collector recorded %d samples, want %d", len(samples), wantRuns)
+	}
+	for _, s := range samples {
+		if s.Events == 0 || s.Pushes == 0 || s.Procs == 0 || s.Wall <= 0 {
+			t.Fatalf("sample %s/%s missing telemetry: %+v", s.Workload, s.Scheme, s)
+		}
+	}
+}
+
+// TestArmedPerfTelemetryGoldenCells extends the guarantee to the
+// crash-recovery oracle: one cell per protocol family run with a live
+// collector yields a CellResult deeply equal to the plain run — same crash
+// point, same recovery line, same execution time, same check count.
+func TestArmedPerfTelemetryGoldenCells(t *testing.T) {
+	scfg := QuickSweep(par.DefaultConfig())
+	o := NewOracle(scfg.Cfg)
+	for _, name := range []string{
+		"RING-256B-i40/Coord_NBM#5",
+		"RING-256B-i40/Indep_M#5",
+		"RING-256B-i40/CIC#5",
+	} {
+		c, spec, err := scfg.Spec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := o.RunCell(spec)
+		if err != nil {
+			t.Fatalf("%s (seed %#x): %v", c.Name(), c.Seed(), err)
+		}
+		spec.Perf = perf.NewCollector()
+		armed, err := o.RunCell(spec)
+		if err != nil {
+			t.Fatalf("%s (seed %#x) armed: %v", c.Name(), c.Seed(), err)
+		}
+		if !reflect.DeepEqual(plain, armed) {
+			t.Errorf("%s: armed telemetry changed the cell outcome:\nplain %+v\narmed %+v",
+				c.Name(), plain, armed)
+		}
+		samples := spec.Perf.Samples()
+		if len(samples) != 1 || samples[0].Events == 0 {
+			t.Fatalf("%s: cell not sampled: %+v", c.Name(), samples)
+		}
+	}
+}

@@ -14,14 +14,23 @@ import (
 
 // Writer accumulates an encoded byte stream.
 type Writer struct {
-	buf []byte
+	buf     []byte
+	counted bool
 }
 
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
-// Bytes returns the encoded stream.
-func (w *Writer) Bytes() []byte { return w.buf }
+// Bytes returns the encoded stream. The first call counts the stream toward
+// the armed perf byte counters; appending after reading Bytes leaves the
+// extra bytes uncounted, which no caller does.
+func (w *Writer) Bytes() []byte {
+	if !w.counted {
+		w.counted = true
+		countEncoded(len(w.buf))
+	}
+	return w.buf
+}
 
 // Len returns the number of bytes encoded so far.
 func (w *Writer) Len() int { return len(w.buf) }
@@ -91,8 +100,12 @@ type Reader struct {
 	err error
 }
 
-// NewReader returns a reader over b.
-func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+// NewReader returns a reader over b. Creating a reader counts its input
+// toward the armed perf byte counters.
+func NewReader(b []byte) *Reader {
+	countDecoded(len(b))
+	return &Reader{buf: b}
+}
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/mp"
 	"repro/internal/obs"
 	"repro/internal/par"
+	"repro/internal/perf"
 	"repro/internal/sim"
 )
 
@@ -47,6 +48,13 @@ type Config struct {
 	// (nil) leaves every fault hook unarmed: the run is byte-identical to a
 	// build without the faults package.
 	Faults *faults.Plan
+
+	// Perf, when non-nil, records the run's host-side cost (wall-clock per
+	// phase, event-loop throughput, allocations, codec bytes) into the
+	// collector. Unlike Obs this measures real time, not virtual time; like
+	// Obs, nil disables it at zero cost and arming it leaves the simulated
+	// schedule untouched.
+	Perf *perf.Collector
 }
 
 // Default returns a configuration of the paper's testbed machine with no
@@ -89,6 +97,11 @@ func (c Config) CheckpointingOn() bool { return c.Interval > 0 || c.FirstAt > 0 
 // Run executes one workload under cfg. The returned error covers simulation
 // failures (deadlock, panics) and oracle mismatches.
 func Run(wl apps.Workload, cfg Config) (Result, error) {
+	// The perf sampler opens before the machine exists and finishes after
+	// Shutdown (defers run LIFO), so the Setup and Shutdown phases cover
+	// machine assembly and goroutine reaping respectively.
+	ps := cfg.Perf.Begin(wl.Name, "none")
+	defer ps.Finish()
 	m := par.NewMachine(cfg.Machine)
 	defer m.Shutdown()
 	m.SetObserver(cfg.Obs)
@@ -104,6 +117,7 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 			MaxCheckpoints: cfg.MaxCheckpoints,
 		})
 		cfg.Obs.SetScheme(sch.Name())
+		ps.SetScheme(sch.Name())
 		sch.Attach(m)
 	}
 	w := mp.NewWorld(m)
@@ -115,14 +129,18 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 		progs[rank] = wl.Make(rank, m.NumNodes())
 		w.Launch(rank, progs[rank])
 	}
+	ps.EndSetup()
 	if err := m.Run(); err != nil {
 		return Result{}, fmt.Errorf("core: %s: %w", wl.Name, err)
 	}
+	m.CollectPerf(ps)
+	ps.EndSim()
 	if !cfg.SkipCheck && wl.Check != nil {
 		if err := wl.Check(progs); err != nil {
 			return Result{}, fmt.Errorf("core: %s: result verification failed: %w", wl.Name, err)
 		}
 	}
+	ps.EndCheck()
 	res := Result{
 		Workload:    wl.Name,
 		Scheme:      "none",

@@ -293,7 +293,7 @@ func TestIndependentAndCICSkipDuringOutage(t *testing.T) {
 				Seed:  2,
 				Retry: tightRetry(),
 				Storage: faults.StorageFaults{
-					Outages: []faults.Window{outageWindow(firstWriteAt(dry.Records), 600 * sim.Millisecond)},
+					Outages: []faults.Window{outageWindow(firstWriteAt(dry.Records), 600*sim.Millisecond)},
 				},
 			}
 			res, err := core.Run(testWorkload(), cfg)

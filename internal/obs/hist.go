@@ -24,6 +24,14 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{Bounds: bounds, Counts: make([]int64, len(bounds)+1)}
 }
 
+// NewHistogram returns an empty histogram with the given strictly increasing
+// bucket upper bounds. It exists for callers outside the registry — the perf
+// layer aggregates host wall-clock times through the same quantile machinery
+// the virtual-time metrics use.
+func NewHistogram(bounds []float64) *Histogram {
+	return newHistogram(append([]float64(nil), bounds...))
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h.N == 0 || v < h.Min {

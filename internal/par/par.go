@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -302,6 +303,16 @@ func (m *Machine) AppsLive() int { return m.appsLive }
 
 // Run executes the simulation to completion.
 func (m *Machine) Run() error { return m.Eng.Run() }
+
+// CollectPerf folds the machine's host-side counters into an armed perf
+// sampler: the engine's event-loop statistics (scheduled and executed
+// events, queue high-water mark, processes spawned). It is the machine-level
+// hook of the host telemetry layer — purely host-side reads, so calling it
+// on an armed sampler cannot perturb the virtual schedule, and a nil sampler
+// makes it free.
+func (m *Machine) CollectPerf(s *perf.RunSampler) {
+	s.EngineStats(m.Eng.Stats())
+}
 
 // Backoff returns the delay to sleep before retry attempt (1-based: the
 // first retry is attempt 1): capped exponential from the policy's base, with

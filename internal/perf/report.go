@@ -1,0 +1,225 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// Schema is the report format version. Bump it when a field changes meaning;
+// Compare refuses to diff reports of different schemas.
+const Schema = "chk-perf/v1"
+
+// Totals are the matrix-level throughput numbers of one harness run — the
+// perf trajectory's per-commit data points.
+type Totals struct {
+	Cells        int     `json:"cells"`
+	ElapsedSec   float64 `json:"elapsed_sec"`    // real time of the whole matrix
+	TotalWallSec float64 `json:"total_wall_sec"` // summed per-cell wall (serial cost)
+	CellsPerSec  float64 `json:"cells_per_sec"`  // Cells / ElapsedSec
+
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"` // Events / ElapsedSec
+
+	AllocsPerCell float64 `json:"allocs_per_cell"`
+	BytesPerCell  float64 `json:"bytes_per_cell"`
+	GCPauseMS     float64 `json:"gc_pause_ms"`
+
+	EncBytes int64 `json:"codec_enc_bytes"`
+	DecBytes int64 `json:"codec_dec_bytes"`
+
+	// Per-cell host wall-clock quantiles, interpolated from the collector's
+	// obs.Histogram over WallBounds.
+	CellWallP50MS float64 `json:"cell_wall_p50_ms"`
+	CellWallP95MS float64 `json:"cell_wall_p95_ms"`
+	CellWallP99MS float64 `json:"cell_wall_p99_ms"`
+}
+
+// CellReport is one cell's host-side measurements.
+type CellReport struct {
+	Cell         string  `json:"cell"` // "WORKLOAD/SCHEME"
+	WallMS       float64 `json:"wall_ms"`
+	SetupMS      float64 `json:"setup_ms"`
+	SimMS        float64 `json:"sim_ms"`
+	CheckMS      float64 `json:"check_ms"`
+	ShutdownMS   float64 `json:"shutdown_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	MaxQueue     int     `json:"max_queue_depth"`
+	Procs        int     `json:"procs"`
+	Allocs       uint64  `json:"allocs"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	GCPauseMS    float64 `json:"gc_pause_ms"`
+	EncBytes     int64   `json:"codec_enc_bytes"`
+	DecBytes     int64   `json:"codec_dec_bytes"`
+}
+
+// Report is the BENCH_*.json document: one harness run of the pinned matrix.
+type Report struct {
+	Schema     string `json:"schema"`
+	Stamp      string `json:"stamp"`  // UTC, e.g. 20260807T153000Z
+	Matrix     string `json:"matrix"` // pinned matrix id, e.g. "pinned-v1"
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Parallel   int    `json:"parallel"` // runner worker count
+
+	Totals Totals       `json:"totals"`
+	Cells  []CellReport `json:"cells"`
+}
+
+// BuildReport renders a collector's samples into a report. Cells are sorted
+// by name so the document is deterministic regardless of completion order;
+// repeated samples of the same (workload, scheme) keep their relative order.
+func BuildReport(c *Collector, elapsed time.Duration, matrix, stamp string, parallel int) *Report {
+	rep := &Report{
+		Schema:     Schema,
+		Stamp:      stamp,
+		Matrix:     matrix,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   parallel,
+	}
+	samples := c.Samples()
+	sort.SliceStable(samples, func(i, j int) bool {
+		a, b := samples[i], samples[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Scheme < b.Scheme
+	})
+	t := &rep.Totals
+	t.Cells = len(samples)
+	t.ElapsedSec = elapsed.Seconds()
+	for _, s := range samples {
+		t.TotalWallSec += s.Wall.Seconds()
+		t.Events += s.Events
+		t.AllocsPerCell += float64(s.Allocs)
+		t.BytesPerCell += float64(s.AllocBytes)
+		t.GCPauseMS += float64(s.GCPause.Milliseconds())
+		t.EncBytes += s.EncBytes
+		t.DecBytes += s.DecBytes
+		rep.Cells = append(rep.Cells, CellReport{
+			Cell:         s.Workload + "/" + s.Scheme,
+			WallMS:       ms(s.Wall),
+			SetupMS:      ms(s.Setup),
+			SimMS:        ms(s.Sim),
+			CheckMS:      ms(s.Check),
+			ShutdownMS:   ms(s.Shutdown),
+			Events:       s.Events,
+			EventsPerSec: s.EventsPerSec(),
+			MaxQueue:     s.MaxQueueDepth,
+			Procs:        s.Procs,
+			Allocs:       s.Allocs,
+			AllocBytes:   s.AllocBytes,
+			GCPauseMS:    float64(s.GCPause.Nanoseconds()) / 1e6,
+			EncBytes:     s.EncBytes,
+			DecBytes:     s.DecBytes,
+		})
+	}
+	if t.ElapsedSec > 0 {
+		t.CellsPerSec = float64(t.Cells) / t.ElapsedSec
+		t.EventsPerSec = float64(t.Events) / t.ElapsedSec
+	}
+	if t.Cells > 0 {
+		t.AllocsPerCell /= float64(t.Cells)
+		t.BytesPerCell /= float64(t.Cells)
+	}
+	h := c.WallHist()
+	t.CellWallP50MS = h.Quantile(0.50) * 1e3
+	t.CellWallP95MS = h.Quantile(0.95) * 1e3
+	t.CellWallP99MS = h.Quantile(0.99) * 1e3
+	return rep
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadReport loads a BENCH_*.json document and validates its schema.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("perf: %s: schema %q, this binary reads %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Regression is one metric that moved past the threshold in the bad
+// direction between a baseline and a current report.
+type Regression struct {
+	Metric    string
+	Base, Cur float64
+	ChangePct float64 // signed; positive = metric grew
+	Threshold float64
+	HigherBad bool
+}
+
+func (r Regression) String() string {
+	dir := "dropped"
+	if r.HigherBad {
+		dir = "grew"
+	}
+	return fmt.Sprintf("%s %s %.1f%% (%.4g -> %.4g, threshold %.0f%%)",
+		r.Metric, dir, abs(r.ChangePct), r.Base, r.Cur, r.Threshold)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Compare diffs two reports of the same matrix and returns every throughput
+// metric that regressed by more than thresholdPct: cells/sec or events/sec
+// down, or allocs/cell up. Wall-clock metrics vary with the host, so a CI
+// gate should pass a generous threshold (the perf-smoke job uses 90, failing
+// only on order-of-magnitude regressions); allocs/cell is host-independent
+// and meaningful at tight thresholds.
+func Compare(base, cur *Report, thresholdPct float64) ([]Regression, error) {
+	if base.Schema != cur.Schema {
+		return nil, fmt.Errorf("perf: schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)
+	}
+	if base.Matrix != cur.Matrix {
+		return nil, fmt.Errorf("perf: matrix mismatch: baseline %q vs current %q — reports are only comparable on the same pinned matrix", base.Matrix, cur.Matrix)
+	}
+	var regs []Regression
+	check := func(metric string, b, c float64, higherBad bool) {
+		if b <= 0 {
+			return // no baseline signal to regress from
+		}
+		change := (c - b) / b * 100
+		bad := change < -thresholdPct
+		if higherBad {
+			bad = change > thresholdPct
+		}
+		if bad {
+			regs = append(regs, Regression{Metric: metric, Base: b, Cur: c,
+				ChangePct: change, Threshold: thresholdPct, HigherBad: higherBad})
+		}
+	}
+	check("cells_per_sec", base.Totals.CellsPerSec, cur.Totals.CellsPerSec, false)
+	check("events_per_sec", base.Totals.EventsPerSec, cur.Totals.EventsPerSec, false)
+	check("allocs_per_cell", base.Totals.AllocsPerCell, cur.Totals.AllocsPerCell, true)
+	return regs, nil
+}

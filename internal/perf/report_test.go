@@ -1,0 +1,138 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample(wl, scheme string, wall time.Duration, events, allocs uint64) RunSample {
+	return RunSample{Workload: wl, Scheme: scheme, Wall: wall, Sim: wall / 2,
+		Events: events, Allocs: allocs, AllocBytes: allocs * 64, EncBytes: 100, DecBytes: 50}
+}
+
+// TestBuildReport proves the document is deterministic (cells sorted by name
+// regardless of completion order) and the totals are the documented
+// aggregates of the samples.
+func TestBuildReport(t *testing.T) {
+	c := NewCollector()
+	// Completion order deliberately scrambled.
+	c.record(sample("TSP-10", "Indep", 40*time.Millisecond, 1000, 500))
+	c.record(sample("SOR-64", "none", 10*time.Millisecond, 3000, 300))
+	c.record(sample("SOR-64", "Coord_NBMS", 30*time.Millisecond, 2000, 200))
+
+	// 125ms is exactly representable, so the expected ratios below are exact.
+	rep := BuildReport(c, 125*time.Millisecond, "quick-v1", "20260807T000000Z", 1)
+	if rep.Schema != Schema || rep.Matrix != "quick-v1" || rep.Parallel != 1 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	var names []string
+	for _, cell := range rep.Cells {
+		names = append(names, cell.Cell)
+	}
+	want := "SOR-64/Coord_NBMS,SOR-64/none,TSP-10/Indep"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("cell order %q, want %q", got, want)
+	}
+	tot := rep.Totals
+	if tot.Cells != 3 || tot.Events != 6000 {
+		t.Fatalf("totals wrong: %+v", tot)
+	}
+	if tot.CellsPerSec != 24 || tot.EventsPerSec != 48000 {
+		t.Fatalf("throughput wrong: cells/sec %v events/sec %v", tot.CellsPerSec, tot.EventsPerSec)
+	}
+	if tot.AllocsPerCell != (500+300+200)/3.0 {
+		t.Fatalf("allocs/cell = %v", tot.AllocsPerCell)
+	}
+	if tot.CellWallP50MS <= 0 || tot.CellWallP99MS < tot.CellWallP50MS {
+		t.Fatalf("quantiles wrong: p50 %v p99 %v", tot.CellWallP50MS, tot.CellWallP99MS)
+	}
+}
+
+// TestReportRoundTrip writes a report and reads it back; a tampered schema
+// must be rejected so stale baselines fail loudly after a format change.
+func TestReportRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.record(sample("SOR-64", "none", 10*time.Millisecond, 3000, 300))
+	rep := BuildReport(c, 50*time.Millisecond, "quick-v1", "20260807T000000Z", 1)
+
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(f, rep); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp != rep.Stamp || len(got.Cells) != 1 || got.Totals != rep.Totals {
+		t.Fatalf("round trip lost data:\nwrote %+v\nread  %+v", rep, got)
+	}
+
+	bad := strings.Replace(string(mustRead(t, path)), Schema, "chk-perf/v0", 1)
+	badPath := filepath.Join(t.TempDir(), "old.json")
+	os.WriteFile(badPath, []byte(bad), 0o644)
+	if _, err := ReadReport(badPath); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("stale schema accepted: %v", err)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func report(matrix string, cellsPerSec, eventsPerSec, allocsPerCell float64) *Report {
+	return &Report{Schema: Schema, Matrix: matrix,
+		Totals: Totals{CellsPerSec: cellsPerSec, EventsPerSec: eventsPerSec, AllocsPerCell: allocsPerCell}}
+}
+
+// TestCompare covers the gate's directionality: throughput down and
+// allocations up regress; the opposite moves, or moves inside the threshold,
+// pass; mismatched matrices refuse to compare.
+func TestCompare(t *testing.T) {
+	base := report("quick-v1", 10, 1e6, 5e6)
+
+	regs, err := Compare(base, report("quick-v1", 10.5, 1.1e6, 4e6), 10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v %v", regs, err)
+	}
+	regs, err = Compare(base, report("quick-v1", 8, 1e6, 5e6), 10)
+	if err != nil || len(regs) != 1 || regs[0].Metric != "cells_per_sec" {
+		t.Fatalf("regs = %v, err = %v, want one cells_per_sec regression", regs, err)
+	}
+	if !strings.Contains(regs[0].String(), "cells_per_sec dropped") {
+		t.Fatalf("rendering: %q", regs[0])
+	}
+	regs, err = Compare(base, report("quick-v1", 10, 1e6, 6e6), 10)
+	if err != nil || len(regs) != 1 || regs[0].Metric != "allocs_per_cell" || !regs[0].HigherBad {
+		t.Fatalf("regs = %v, err = %v, want one allocs_per_cell regression", regs, err)
+	}
+	// Inside the threshold: a 9% drop at threshold 10 passes.
+	if regs, _ := Compare(base, report("quick-v1", 9.1, 1e6, 5e6), 10); len(regs) != 0 {
+		t.Fatalf("within-threshold move flagged: %v", regs)
+	}
+	// A zero baseline metric cannot regress (no signal).
+	if regs, _ := Compare(report("quick-v1", 0, 0, 0), report("quick-v1", 0, 0, 1), 10); len(regs) != 0 {
+		t.Fatalf("zero baseline flagged: %v", regs)
+	}
+
+	if _, err := Compare(base, report("pinned-v1", 10, 1e6, 5e6), 10); err == nil {
+		t.Fatal("cross-matrix compare accepted")
+	}
+	cur := report("quick-v1", 10, 1e6, 5e6)
+	cur.Schema = "chk-perf/v2"
+	if _, err := Compare(base, cur, 10); err == nil {
+		t.Fatal("cross-schema compare accepted")
+	}
+}

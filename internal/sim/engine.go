@@ -43,6 +43,35 @@ type Engine struct {
 	running *Proc
 	stopReq bool
 	failure error
+
+	pops     uint64 // events executed by Run
+	maxDepth int    // high-water mark of the pending-event queue
+}
+
+// EngineStats are host-side counters of the event loop, maintained
+// unconditionally: three integer updates per event are cheap enough to keep
+// always-on, they never read the host clock, and they cannot perturb the
+// virtual schedule — which is what lets the perf layer sample them without a
+// determinism caveat. Pushes is e.seq (every scheduled event), Pops the
+// events Run actually executed (Stop discards the rest), MaxQueueDepth the
+// high-water mark of the pending-event heap, and ProcsSpawned the number of
+// processes ever created on the engine.
+type EngineStats struct {
+	Pushes        uint64
+	Pops          uint64
+	MaxQueueDepth int
+	ProcsSpawned  int
+}
+
+// Stats returns the engine's event-loop counters. They keep accumulating
+// until the engine is discarded and remain readable after Shutdown.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Pushes:        e.seq,
+		Pops:          e.pops,
+		MaxQueueDepth: e.maxDepth,
+		ProcsSpawned:  e.nextID,
+	}
 }
 
 // New returns an empty engine at virtual time zero.
@@ -64,6 +93,9 @@ func (e *Engine) At(at Time, fn func()) {
 	}
 	e.seq++
 	e.events.pushEvent(event{at: at, seq: e.seq, fn: fn})
+	if len(e.events) > e.maxDepth {
+		e.maxDepth = len(e.events)
+	}
 }
 
 // After schedules fn to run in engine context d from now.
@@ -105,6 +137,7 @@ func (d *DeadlockError) Error() string {
 func (e *Engine) Run() error {
 	for len(e.events) > 0 && !e.stopReq {
 		ev := e.events.popEvent()
+		e.pops++
 		e.now = ev.at
 		ev.fn()
 	}
