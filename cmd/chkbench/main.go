@@ -23,6 +23,12 @@
 //
 //	chkbench -parallel 8     # worker goroutines (default GOMAXPROCS)
 //	chkbench -parallel 1     # serial execution (same output, slower)
+//
+// Machine shape (defaults reproduce the paper's testbed exactly):
+//
+//	chkbench -topo torus:8x8           # interconnect topology (see -list)
+//	chkbench -servers 4                # shard stable storage over 4 servers
+//	chkbench -placement nearest        # rank→server policy: stripe, hash, nearest
 //	chkbench -celltime       # per-cell wall-clock table on stderr, and a
 //	                         # timing section in the -json report
 //
@@ -90,7 +96,10 @@ func run(args []string, out, errw io.Writer) (err error) {
 	app := fs.String("app", "SOR-256", "workload for -trace/-metrics, e.g. SOR-256, ISING-512, GAUSS-384")
 	scheme := fs.String("scheme", "", "scheme for -trace/-metrics, see -list (default NBMS for -trace, all Table 2 schemes for -metrics)")
 	ckpts := fs.Int("ckpts", 3, "checkpoints per run for -trace/-metrics")
-	list := fs.Bool("list", false, "list the known applications and schemes, then exit")
+	list := fs.Bool("list", false, "list the known applications, schemes, topologies and placement policies, then exit")
+	topoSpec := fs.String("topo", "", "interconnect topology spec, e.g. mesh:4x2, mesh3d:4x4x4, torus:8x8, fattree:4x3 (default: the paper's 4x2 mesh)")
+	servers := fs.Int("servers", 1, "stable-storage servers, each at a distinct host-attach node")
+	placement := fs.String("placement", "", "rank→server placement policy: stripe (default), hash or nearest")
 	var prof perf.Profile
 	prof.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +121,14 @@ func run(args []string, out, errw io.Writer) (err error) {
 		}
 		fmt.Fprintln(out, "Schemes (-scheme; case-insensitive, Coord_ prefix and underscores optional):")
 		for _, name := range bench.SchemeNames() {
+			fmt.Fprintln(out, "  "+name)
+		}
+		fmt.Fprintln(out, "Topologies (-topo SPEC):")
+		for _, name := range bench.TopologyNames() {
+			fmt.Fprintln(out, "  "+name)
+		}
+		fmt.Fprintln(out, "Placement policies (-placement; rank→storage-server assignment with -servers N):")
+		for _, name := range bench.PlacementNames() {
 			fmt.Fprintln(out, "  "+name)
 		}
 		return nil
@@ -144,6 +161,9 @@ func run(args []string, out, errw io.Writer) (err error) {
 	start := time.Now()
 
 	cfg := par.DefaultConfig()
+	if err := bench.ConfigureFabric(&cfg, *topoSpec, *servers, *placement); err != nil {
+		return fmt.Errorf("%v (see -list for the known topologies and placement policies)", err)
+	}
 	var jsonRows []bench.JSONRow
 	if *table == "1" || *table == "all" {
 		wls := bench.Table1Workloads()

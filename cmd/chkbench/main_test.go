@@ -71,3 +71,53 @@ func TestRunList(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBadFabricFlagsFail audits the topology/sharding flag error paths:
+// every malformed -topo, out-of-range -servers or unknown -placement must
+// fail before any cell runs, naming the bad value and pointing at -list.
+func TestRunBadFabricFlagsFail(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring the error must carry
+	}{
+		{[]string{"-topo", "ring:8"}, "ring:8"},
+		{[]string{"-topo", "mesh:0x2"}, "mesh:0x2"},
+		{[]string{"-topo", "mesh:4"}, "mesh:4"},
+		{[]string{"-topo", "fattree:1x3"}, "fattree:1x3"},
+		{[]string{"-servers", "0"}, "-servers 0"},
+		{[]string{"-servers", "9"}, "-servers 9"},
+		{[]string{"-topo", "mesh:4x4", "-servers", "17"}, "-servers 17"},
+		{[]string{"-placement", "closest"}, "closest"},
+	}
+	for _, tc := range cases {
+		var out, errw strings.Builder
+		err := run(tc.args, &out, &errw)
+		if err == nil {
+			t.Errorf("run(%v) = nil, want an error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error %q does not name %q", tc.args, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "-list") {
+			t.Errorf("run(%v) error %q does not point at -list", tc.args, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout on a usage error:\n%s", tc.args, out.String())
+		}
+	}
+}
+
+// TestRunListNamesTopologiesAndPlacements pins the -list sections the
+// topology subsystem added.
+func TestRunListNamesTopologiesAndPlacements(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mesh:WxH", "mesh3d:XxYxZ", "torus:WxH", "fattree:AxL", "stripe", "hash", "nearest"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}

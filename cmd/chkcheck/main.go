@@ -82,17 +82,22 @@ func run(args []string, out, errw io.Writer) (err error) {
 		return errors.New("-quick and -full are mutually exclusive")
 	}
 	// -cell resolves against the lattice it was reported from, so -full
-	// changes both what a sweep runs and what a cell name means.
+	// changes both what a sweep runs and what a cell name means. The sharded
+	// sweep runs in both modes and its cell names are disjoint from both
+	// lattices, so -cell falls through to it unambiguously.
 	cfg := check.QuickSweep(par.DefaultConfig())
 	if *full {
 		cfg = check.FullSweep(par.DefaultConfig())
 	}
+	shard := check.ShardSweep(par.DefaultConfig())
 	cfg.Parallel = *parallel
+	shard.Parallel = *parallel
 	if *verbose {
 		cfg.Prog = bench.NewLineProgress(errw)
+		shard.Prog = cfg.Prog
 	}
 	if *cell != "" {
-		return runCell(cfg, *cell, *traceOut, out)
+		return runCell([]check.SweepConfig{cfg, shard}, *cell, *traceOut, out)
 	}
 	if *traceOut != "" {
 		return errors.New("-trace instruments a single run: combine it with -cell")
@@ -102,14 +107,20 @@ func run(args []string, out, errw io.Writer) (err error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
-	rep, err := check.Sweep(ctx, cfg)
-	if err != nil {
-		if *seedlist != "" {
-			if werr := writeSeedlist(*seedlist, *full, err); werr != nil {
-				fmt.Fprintln(errw, "chkcheck: seedlist:", werr)
+	var rep check.SweepReport
+	for _, sc := range []check.SweepConfig{cfg, shard} {
+		r, err := check.Sweep(ctx, sc)
+		rep.Cells += r.Cells
+		rep.Checks += r.Checks
+		rep.Recovered += r.Recovered
+		if err != nil {
+			if *seedlist != "" {
+				if werr := writeSeedlist(*seedlist, *full, err); werr != nil {
+					fmt.Fprintln(errw, "chkcheck: seedlist:", werr)
+				}
 			}
+			return err
 		}
-		return err
 	}
 	fmt.Fprintf(out, "chkcheck: %d cells ok (%d crashed and recovered, %d invariant checks) in %.1fs\n",
 		rep.Cells, rep.Recovered, rep.Checks, time.Since(start).Seconds())
@@ -133,11 +144,23 @@ func writeSeedlist(path string, full bool, err error) error {
 	return os.WriteFile(path, []byte(body), 0o644)
 }
 
-// runCell reproduces one cell of the sweep lattice and reports its
-// trajectory: deterministic seeding makes this bit-identical to the sweep's
-// execution of the same cell.
-func runCell(cfg check.SweepConfig, name, traceOut string, out io.Writer) error {
-	c, spec, err := cfg.Spec(name)
+// runCell reproduces one cell by name, resolving against the sweep lattices
+// in order (the mode's main lattice, then the sharded-storage one — their
+// cell names are disjoint). Deterministic seeding makes the reproduction
+// bit-identical to the sweep's execution of the same cell.
+func runCell(cfgs []check.SweepConfig, name, traceOut string, out io.Writer) error {
+	var (
+		cfg  check.SweepConfig
+		c    bench.Cell
+		spec check.CellSpec
+		err  error
+	)
+	for _, sc := range cfgs {
+		if c, spec, err = sc.Spec(name); err == nil {
+			cfg = sc
+			break
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,9 @@
 //	                         #      message-logging recovery
 //	chkrecover -exp avail    # E12: availability under injected faults and
 //	                         #      Poisson failures
+//	chkrecover -exp scale    # E14: checkpoint overhead and storage contention
+//	                         #      on meshes up to 1024 nodes with stable
+//	                         #      storage sharded over up to 16 servers
 //
 // Any failing experiment cell aborts the run with a non-zero exit status and
 // a message naming the cell and its replay seed.
@@ -52,13 +55,16 @@ func main() {
 func run(args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("chkrecover", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	exp := fs.String("exp", "coord", "experiment: coord, domino, logging or avail")
+	exp := fs.String("exp", "coord", "experiment: coord, domino, logging, avail or scale")
 	scheme := fs.String("scheme", "NBMS", "coordinated scheme for -exp coord")
 	interval := fs.Duration("interval", 3*time.Second, "checkpoint interval (virtual)")
 	crashAt := fs.Duration("crash", 15*time.Second, "failure time (virtual)")
 	quick := fs.Bool("quick", false, "reduced workload sizes")
-	parallel := fs.Int("parallel", 0, "worker goroutines for -exp domino/avail cells (0 = GOMAXPROCS)")
+	parallel := fs.Int("parallel", 0, "worker goroutines for -exp domino/avail/scale cells (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 0, "override every -exp avail cell's fault-plan seed (0 = per-cell seeds)")
+	topoSpec := fs.String("topo", "", "interconnect topology spec, e.g. mesh:4x2, torus:8x8, fattree:4x3 (default: the paper's 4x2 mesh)")
+	servers := fs.Int("servers", 1, "stable-storage servers, each at a distinct host-attach node")
+	placement := fs.String("placement", "", "rank→server placement policy: stripe (default), hash or nearest")
 	verbose := fs.Bool("v", false, "log every run")
 	var prof perf.Profile
 	prof.RegisterFlags(fs)
@@ -79,6 +85,9 @@ func run(args []string, out, errw io.Writer) (err error) {
 		prog = bench.NewLineProgress(errw)
 	}
 	cfg := par.DefaultConfig()
+	if err := bench.ConfigureFabric(&cfg, *topoSpec, *servers, *placement); err != nil {
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
 	switch *exp {
 	case "coord":
 		v, err := bench.SchemeByName(*scheme)
@@ -97,7 +106,9 @@ func run(args []string, out, errw io.Writer) (err error) {
 	case "avail":
 		return bench.AvailabilityExperimentSeeded(out, cfg, *quick,
 			bench.NewRunner(*parallel, prog), *seed)
+	case "scale":
+		return bench.ScaleExperiment(out, cfg, *quick, bench.NewRunner(*parallel, prog))
 	default:
-		return fmt.Errorf("%w: unknown experiment %q: want coord, domino, logging or avail", errUsage, *exp)
+		return fmt.Errorf("%w: unknown experiment %q: want coord, domino, logging, avail or scale", errUsage, *exp)
 	}
 }

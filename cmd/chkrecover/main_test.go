@@ -56,3 +56,34 @@ func TestRunBadFlagFails(t *testing.T) {
 		t.Fatal("run with an unknown flag returned nil")
 	}
 }
+
+// TestRunBadFabricFlagsAreUsage audits the topology/sharding flag error
+// paths: malformed -topo, out-of-range -servers and unknown -placement are
+// command-line misuse, so they must surface as errUsage (exit 2) and name
+// the bad value.
+func TestRunBadFabricFlagsAreUsage(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring the error must carry
+	}{
+		{[]string{"-topo", "ring:8"}, "ring:8"},
+		{[]string{"-topo", "torus:2x"}, "torus:2x"},
+		{[]string{"-servers", "0"}, "-servers 0"},
+		{[]string{"-servers", "9"}, "-servers 9"},
+		{[]string{"-placement", "closest"}, "closest"},
+	}
+	for _, tc := range cases {
+		var out, errw strings.Builder
+		err := run(tc.args, &out, &errw)
+		if !errors.Is(err, errUsage) {
+			t.Errorf("run(%v) = %v, want errUsage", tc.args, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error %q does not name %q", tc.args, err, tc.want)
+		}
+		if out.Len() != 0 {
+			t.Errorf("run(%v) wrote to stdout on a usage error:\n%s", tc.args, out.String())
+		}
+	}
+}

@@ -43,6 +43,8 @@ func RunExperiment(w io.Writer, name string, cfg par.Config, quick bool, r *Runn
 		return DominoExperiment(w, cfg, quick, r)
 	case "avail":
 		return AvailabilityExperiment(w, cfg, quick, r)
+	case "scale":
+		return ScaleExperiment(w, cfg, quick, r)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q", name)
 	}
@@ -279,6 +281,10 @@ func ScalingExperiment(w io.Writer, cfg par.Config, quick bool, r *Runner) error
 	}
 	err := r.ForEach(context.Background(), cells, func(ctx context.Context, i int, c Cell) error {
 		cc := cfg
+		// E10 is defined over meshes: a parsed -topo override must not
+		// survive into the grid cells, or the dimensions set here would be
+		// silently ignored.
+		cc.Fabric.Topo = nil
 		cc.Fabric.MeshW, cc.Fabric.MeshH = dims[i][0], dims[i][1]
 		nodes[i] = cc.Fabric.Nodes()
 		wl := syntheticWorkloadN(128_000, nodes[i])

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/storage"
+	"repro/internal/topo"
+)
+
+// ConfigureFabric applies the topology and storage-sharding command-line
+// flags shared by the commands to cfg: -topo (a topo.Parse spec; empty keeps
+// the configured mesh), -servers (stable-storage server count) and
+// -placement (rank→server policy name; empty keeps the default stripe).
+// Every error names the offending value, so a command can surface it as a
+// usage error.
+func ConfigureFabric(cfg *par.Config, topoSpec string, servers int, placement string) error {
+	if topoSpec != "" {
+		t, err := topo.Parse(topoSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Fabric.Topo = t
+	}
+	if servers < 1 {
+		return fmt.Errorf("-servers %d: want at least 1 stable-storage server", servers)
+	}
+	if n := cfg.Fabric.Nodes(); servers > n {
+		return fmt.Errorf("-servers %d: the %d-node machine has only %d distinct attach nodes", servers, n, n)
+	}
+	cfg.StorageServers = servers
+	if _, err := storage.ParsePlacement(placement); err != nil {
+		return err
+	}
+	cfg.Placement = placement
+	return nil
+}
+
+// TopologyNames lists the -topo spec forms for the commands' -list output.
+func TopologyNames() []string { return topo.Names() }
+
+// PlacementNames lists the -placement policies for the commands' -list
+// output.
+func PlacementNames() []string { return storage.PlacementNames() }

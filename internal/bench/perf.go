@@ -17,8 +17,11 @@ import (
 // measure something else, add a new matrix id — never edit an existing one.
 // The ids below are embedded in every report and checked by perf.Compare.
 const (
-	PerfMatrixFull  = "pinned-v1"
-	PerfMatrixQuick = "quick-v1"
+	PerfMatrixFull = "pinned-v1"
+	// quick-v2 extended quick-v1 with one 64-node/4-server sharded-storage
+	// cell (the topology subsystem's scaling hot path); BENCH_baseline.json
+	// was regenerated at the bump.
+	PerfMatrixQuick = "quick-v2"
 )
 
 // perfWorkloads returns the pinned workload set: one representative per
@@ -75,6 +78,19 @@ func RunPerf(ctx context.Context, cfg par.Config, quick bool, r *Runner, stamp s
 	_, err := r.RunMatrix(ctx, cfg, perfWorkloads(quick), perfSchemes(quick), 1, 3)
 	if err != nil {
 		return nil, err
+	}
+	if quick {
+		// quick-v2's scaling cell: the 64-node mesh with storage striped over
+		// 4 servers, the cheapest cell that drives the topology subsystem's
+		// hot paths (big-mesh routing, shard fan-out) through the perf
+		// telemetry. The full matrix predates the subsystem and is pinned, so
+		// it stays unchanged.
+		cell := ScaleCell{MeshW: 8, MeshH: 8, Servers: 4}
+		_, err = r.RunMatrix(ctx, scaleConfig(cfg, cell),
+			[]apps.Workload{scaleWorkload(cell.Nodes())}, []ckpt.Variant{ckpt.CoordNB}, 1, 2)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return perf.BuildReport(r.Perf, time.Since(start), PerfMatrixName(quick), stamp, r.EffectiveParallel()), nil
 }

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// TestScaleExperimentParallelDeterminism: E14's table must be byte-identical
+// at any worker count, including the largest cell of the full grid — 1024
+// nodes with storage striped over 16 servers. One scheme keeps the test
+// affordable (CIC, which runs at every grid size); the per-cell simulation
+// is the same code under every scheme.
+func TestScaleExperimentParallelDeterminism(t *testing.T) {
+	cfg := par.DefaultConfig()
+	grid := []ScaleCell{
+		{MeshW: 4, MeshH: 2, Servers: 1},
+		{MeshW: 32, MeshH: 32, Servers: 16},
+	}
+	schemes := []ckpt.Variant{ckpt.CIC}
+	var serial, parallel bytes.Buffer
+	if err := ScaleExperimentGrid(&serial, cfg, grid, schemes, NewRunner(1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ScaleExperimentGrid(&parallel, cfg, grid, schemes, NewRunner(8, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("E14 output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("E14 produced no output")
+	}
+}
+
+// TestShardedStorageReducesContention is the experiment's headline claim as
+// an assertion: on a 64-node mesh under coordinated checkpointing, striping
+// stable storage over 4 servers must beat the single server on both the
+// bottleneck metric (busiest disk's busy time) and end-to-end execution.
+func TestShardedStorageReducesContention(t *testing.T) {
+	run := func(servers int) core.Result {
+		cell := ScaleCell{MeshW: 8, MeshH: 8, Servers: servers}
+		cc := scaleConfig(par.DefaultConfig(), cell)
+		base, err := core.Run(scaleWorkload(cell.Nodes()), core.Config{Machine: cc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(scaleWorkload(cell.Nodes()), core.Config{
+			Machine: cc, Scheme: ckpt.CoordNB, Interval: base.Exec / 3, MaxCheckpoints: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, four := run(1), run(4)
+	if four.StorageServers != 4 || one.StorageServers != 1 {
+		t.Fatalf("server counts: got %d and %d", one.StorageServers, four.StorageServers)
+	}
+	if four.MaxDiskBusy >= one.MaxDiskBusy {
+		t.Errorf("busiest disk with 4 servers (%v) not below single server (%v)", four.MaxDiskBusy, one.MaxDiskBusy)
+	}
+	if four.MaxHostLinkBusy >= one.MaxHostLinkBusy {
+		t.Errorf("busiest host link with 4 servers (%v) not below single server (%v)", four.MaxHostLinkBusy, one.MaxHostLinkBusy)
+	}
+	if four.Exec >= one.Exec {
+		t.Errorf("execution with 4 servers (%v) not below single server (%v)", four.Exec, one.Exec)
+	}
+}
+
+// TestExplicitTopologyByteIdentical pins the backward-compatibility contract
+// of the topology subsystem: spelling the default machine out explicitly — a
+// 4x2 mesh topology, one storage server, the stripe placement — must produce
+// a measurement bit-identical to the legacy implicit configuration, under no
+// checkpointing and under a representative scheme of each family.
+func TestExplicitTopologyByteIdentical(t *testing.T) {
+	legacy := par.DefaultConfig()
+	explicit := par.DefaultConfig()
+	explicit.Fabric.Topo = topo.Mesh2D{W: 4, H: 2}
+	explicit.StorageServers = 1
+	explicit.Placement = "stripe"
+	wl := RingWorkload(2048, 40, 2e5)
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"none", core.Config{}},
+		{"Coord_NB", core.Config{Scheme: ckpt.CoordNB, Interval: 300 * sim.Millisecond, MaxCheckpoints: 3}},
+		{"Indep", core.Config{Scheme: ckpt.Indep, Interval: 300 * sim.Millisecond, MaxCheckpoints: 3}},
+		{"CIC", core.Config{Scheme: ckpt.CIC, Interval: 300 * sim.Millisecond, MaxCheckpoints: 3}},
+	}
+	for _, tc := range cases {
+		lc, ec := tc.cfg, tc.cfg
+		lc.Machine, ec.Machine = legacy, explicit
+		lr, err := core.Run(wl, lc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := core.Run(wl, ec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lr, er) {
+			t.Errorf("%s: explicit topology result differs from legacy mesh config:\nlegacy:   %+v\nexplicit: %+v", tc.name, lr, er)
+		}
+	}
+}

@@ -73,17 +73,32 @@ func syntheticWorkload(stateBytes int) apps.Workload {
 // runs are comparable byte for byte, and the phase-encoded state makes any
 // over- or under-rollback surface as a wrong accumulator in Check.
 func RingWorkload(stateBytes, iters int, perIterOps float64) apps.Workload {
-	const n = 8
+	wl := RingWorkloadN(8, stateBytes, iters, perIterOps)
+	wl.Name = fmt.Sprintf("RING-%dB-i%d", stateBytes, iters)
+	return wl
+}
+
+// RingWorkloadN is RingWorkload generalized to an n-node machine; the scaling
+// experiment runs it on meshes far past the paper's 8 nodes. The node count is
+// part of the name so cells from different machine sizes never collide in a
+// report. RingWorkload keeps its shorter historical name for the default
+// 8-node machine so existing cell names (CI seedlists, -cell reproductions)
+// stay valid.
+func RingWorkloadN(n, stateBytes, iters int, perIterOps float64) apps.Workload {
 	return apps.Workload{
-		Name: fmt.Sprintf("RING-%dB-i%d", stateBytes, iters),
+		Name: fmt.Sprintf("RING-%dB-i%d-n%d", stateBytes, iters, n),
 		Make: func(rank, size int) mp.Program {
 			return &ringState{Rank: rank, Size: size, Iters: iters, PerIterOps: perIterOps,
 				Pad: make([]byte, stateBytes)}
 		},
 		Check: func(progs []mp.Program) error {
+			// The ring size is however many ranks actually ran, not the n the
+			// workload was named for — so the same workload verifies correctly
+			// on any machine (-topo overrides the mesh under every experiment).
+			size := len(progs)
 			for rank, p := range progs {
 				r := p.(*ringState)
-				left := (rank + n - 1) % n
+				left := (rank + size - 1) % size
 				var want int64
 				for i := 0; i < iters; i++ {
 					want += int64(left+1) * int64(i+1)
@@ -107,9 +122,10 @@ func syntheticWorkloadN(stateBytes, n int) apps.Workload {
 				Pad: make([]byte, stateBytes)}
 		},
 		Check: func(progs []mp.Program) error {
+			size := len(progs) // see RingWorkloadN: verify the machine that ran
 			for rank, p := range progs {
 				r := p.(*ringState)
-				left := (rank + n - 1) % n
+				left := (rank + size - 1) % size
 				var want int64
 				for i := 0; i < iters; i++ {
 					want += int64(left+1) * int64(i+1)

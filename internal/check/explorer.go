@@ -8,7 +8,9 @@ import (
 	"repro/internal/apps"
 	"repro/internal/bench"
 	"repro/internal/ckpt"
+	"repro/internal/faults"
 	"repro/internal/par"
+	"repro/internal/sim"
 )
 
 // ExplorerSchemes is the full scheme matrix the explorer sweeps: every
@@ -30,6 +32,12 @@ type SweepConfig struct {
 	Seeds    int // seeds per stratum
 	Parallel int // worker pool size; 0 means GOMAXPROCS
 	Prog     bench.Progress
+
+	// FaultPlan, when set, is copied onto every cell spec: each cell arms
+	// the plan it returns for (cell seed, baseline exec) on its machine, on
+	// top of the oracle's own stratified crash. The sharded-storage sweep
+	// uses it to take individual storage servers down mid-run.
+	FaultPlan func(seed uint64, horizon sim.Duration) *faults.Plan
 }
 
 // QuickSweep is the CI matrix: 2 workloads x 7 schemes x 4 crash strata x 4
@@ -67,6 +75,49 @@ func FullSweep(cfg par.Config) SweepConfig {
 	}
 }
 
+// ShardSweep is the sharded-storage matrix: the ring workload on the default
+// mesh with stable storage striped over 4 servers, one scheme per protocol
+// family, and a fault plan that takes each storage server down for a window
+// staggered across the run — so every family is exercised saving to and
+// recovering from the correct shard while some shard is unavailable (the
+// retry client rides the outage out, and the shard.placement invariant
+// verifies no file ever lands on, or is read from, the wrong server). The
+// workload's state size differs from QuickSweep's so cell names stay unique
+// across the combined lattices. 1 app x 3 schemes x 4 strata x 2 seeds = 24
+// cells.
+func ShardSweep(cfg par.Config) SweepConfig {
+	cfg.StorageServers = 4
+	return SweepConfig{
+		Cfg: cfg,
+		Apps: []apps.Workload{
+			bench.RingWorkload(512, 40, 2e5),
+		},
+		Schemes: []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC},
+		Points:  4,
+		Seeds:   2,
+		FaultPlan: func(seed uint64, horizon sim.Duration) *faults.Plan {
+			// One outage per server, 1/16 of the baseline run long, starting
+			// at staggered fractions of it — short enough that the default
+			// retry policy's backoff schedule always outlasts the window.
+			outs := make([]faults.ServerOutage, 4)
+			for s := range outs {
+				outs[s] = faults.ServerOutage{
+					Server: s,
+					Window: faults.Window{
+						At:  sim.Time(0).Add(horizon / 6 * sim.Duration(s+1)),
+						Dur: horizon / 16,
+					},
+				}
+			}
+			return &faults.Plan{
+				Seed:    seed,
+				Horizon: horizon,
+				Storage: faults.StorageFaults{ServerOutages: outs},
+			}
+		},
+	}
+}
+
 // SweepReport summarizes a completed sweep.
 type SweepReport struct {
 	Cells     int   // cells executed cleanly
@@ -87,7 +138,7 @@ func (cfg SweepConfig) Cells() ([]bench.Cell, []CellSpec) {
 			for point := 0; point < cfg.Points; point++ {
 				for s := 0; s < cfg.Seeds; s++ {
 					cells = append(cells, bench.Cell{App: wl.Name, Scheme: v.String(), Rep: point*cfg.Seeds + s})
-					specs = append(specs, CellSpec{Workload: wl, Scheme: v, Point: point, Points: cfg.Points})
+					specs = append(specs, CellSpec{Workload: wl, Scheme: v, Point: point, Points: cfg.Points, FaultPlan: cfg.FaultPlan})
 				}
 			}
 		}

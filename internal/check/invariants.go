@@ -87,6 +87,14 @@ func (a *audit) err() error {
 		strings.Join(parts, "; "))
 }
 
+// peekRank inspects rank's storage shard for path — every rank's files live
+// on exactly one server, the one its placement assigns, so that is the only
+// server a correct scheme can have written to (and the only one recovery
+// will read from). Peek costs no virtual time.
+func (a *audit) peekRank(rank int, path string) ([]byte, bool) {
+	return a.m.StoreFor(rank).Peek(path)
+}
+
 // onCommit is the CommitHook entry point for every scheme family.
 func (a *audit) onCommit(recs []ckpt.Record) {
 	a.m.Obs.Add(0, "check.commits", 1)
@@ -122,7 +130,7 @@ func (a *audit) coordCommit(recs []ckpt.Record) {
 		byRank[r.Rank] = r
 	}
 
-	meta, ok := a.m.Store.Peek(ckpt.CoordMetaPath())
+	meta, ok := a.peekRank(0, ckpt.CoordMetaPath())
 	if a.assert(ok, "coord.meta-durable", "round %d committed but no durable commit record", round) {
 		got, err := ckpt.ParseMetaRecord(meta)
 		a.assert(err == nil && got == round, "coord.meta-durable",
@@ -135,7 +143,7 @@ func (a *audit) coordCommit(recs []ckpt.Record) {
 	sentVec := make([][]int, a.n)
 	recvVec := make([][]int, a.n)
 	for rank, rec := range byRank {
-		data, ok := a.m.Store.Peek(ckpt.CoordStatePath(round, rank))
+		data, ok := a.peekRank(rank, ckpt.CoordStatePath(round, rank))
 		if !a.assert(ok, "coord.state-durable", "round %d rank %d: state file missing", round, rank) {
 			return
 		}
@@ -155,7 +163,7 @@ func (a *audit) coordCommit(recs []ckpt.Record) {
 	logged := make([][][]msgCopy, a.n)
 	for rank, rec := range byRank {
 		logged[rank] = make([][]msgCopy, a.n)
-		data, ok := a.m.Store.Peek(ckpt.CoordChanPath(round, rank))
+		data, ok := a.peekRank(rank, ckpt.CoordChanPath(round, rank))
 		if rec.ChanBytes == 0 {
 			a.assert(!ok, "coord.chan-durable", "round %d rank %d: empty channel but a durable log of %d bytes", round, rank, len(data))
 			continue
@@ -215,7 +223,7 @@ func (a *audit) coordCommit(recs []ckpt.Record) {
 // only constrain new intervals).
 func (a *audit) indepCommit(rec ckpt.Record) {
 	path := a.ckptPath(rec.Rank, rec.Index)
-	data, ok := a.m.Store.Peek(path)
+	data, ok := a.peekRank(rec.Rank, path)
 	if a.assert(ok, "indep.durable", "rank %d ckpt %d committed but %s not durable", rec.Rank, rec.Index, path) {
 		idx, deps, state, _, err := a.decodeCkpt(data)
 		if a.assert(err == nil, "indep.durable", "rank %d ckpt %d: undecodable: %v", rec.Rank, rec.Index, err) {
@@ -289,7 +297,7 @@ func (a *audit) finishCoordinated() {
 			maxRound = r.Index
 		}
 	}
-	meta, ok := a.m.Store.Peek(ckpt.CoordMetaPath())
+	meta, ok := a.peekRank(0, ckpt.CoordMetaPath())
 	if !ok {
 		a.assert(maxRound == 0, "coord.exact", "round %d committed but no durable commit record", maxRound)
 		return
@@ -317,18 +325,21 @@ func (a *audit) finishCoordinated() {
 	// it because the commit record is authoritative.)
 	slotPrefix := slotOf(ckpt.CoordStatePath(round, 0))
 	want := map[string]int{ckpt.CoordMetaPath(): -1}
+	wantShard := map[string]int{ckpt.CoordMetaPath(): a.m.ShardOf(0)}
 	if phantom {
 		// No records to audit sizes against: require a complete state set
 		// whose captures left cuts in the sidecar, and accept whatever channel
 		// logs the round wrote.
 		for rank := 0; rank < a.n; rank++ {
 			want[ckpt.CoordStatePath(round, rank)] = -1
-			_, ok := a.m.Store.Peek(ckpt.CoordStatePath(round, rank))
+			_, ok := a.peekRank(rank, ckpt.CoordStatePath(round, rank))
 			if a.assert(ok, "coord.exact", "commit record names round %d but rank %d's state is missing", round, rank) {
 				_, _, cutOK := a.h.cutAt(rank, round)
 				a.assert(cutOK, "coord.exact", "round %d rank %d: no ledger cut recorded at capture", round, rank)
 			}
 			want[ckpt.CoordChanPath(round, rank)] = -1
+			wantShard[ckpt.CoordStatePath(round, rank)] = a.m.ShardOf(rank)
+			wantShard[ckpt.CoordChanPath(round, rank)] = a.m.ShardOf(rank)
 		}
 	} else {
 		for _, r := range a.committed {
@@ -336,25 +347,33 @@ func (a *audit) finishCoordinated() {
 				continue
 			}
 			want[ckpt.CoordStatePath(round, r.Rank)] = r.StateBytes
+			wantShard[ckpt.CoordStatePath(round, r.Rank)] = a.m.ShardOf(r.Rank)
 			if r.ChanBytes > 0 {
 				want[ckpt.CoordChanPath(round, r.Rank)] = r.ChanBytes
+				wantShard[ckpt.CoordChanPath(round, r.Rank)] = a.m.ShardOf(r.Rank)
 			}
 		}
 	}
-	for _, path := range a.m.Store.DurablePaths() {
-		inSlot := strings.HasPrefix(path, slotPrefix)
-		if !strings.HasPrefix(path, "coord/") || (!inSlot && path != ckpt.CoordMetaPath()) {
-			continue
+	for si, st := range a.m.Stores {
+		for _, path := range st.DurablePaths() {
+			inSlot := strings.HasPrefix(path, slotPrefix)
+			if !strings.HasPrefix(path, "coord/") || (!inSlot && path != ckpt.CoordMetaPath()) {
+				continue
+			}
+			size, listed := want[path]
+			if !a.assert(listed, "coord.exact", "stray durable file %s in the committed round's slot", path) {
+				continue
+			}
+			if a.m.NumStores() > 1 {
+				a.assert(si == wantShard[path], "shard.placement",
+					"%s durable on server %d, its rank's placement is server %d", path, si, wantShard[path])
+			}
+			if size >= 0 {
+				data, _ := st.Peek(path)
+				a.assert(len(data) == size, "coord.exact", "%s is %d bytes, committed record says %d", path, len(data), size)
+			}
+			delete(want, path)
 		}
-		size, listed := want[path]
-		if !a.assert(listed, "coord.exact", "stray durable file %s in the committed round's slot", path) {
-			continue
-		}
-		if size >= 0 {
-			data, _ := a.m.Store.Peek(path)
-			a.assert(len(data) == size, "coord.exact", "%s is %d bytes, committed record says %d", path, len(data), size)
-		}
-		delete(want, path)
 	}
 	for path := range want {
 		if size := want[path]; size < 0 && strings.Contains(path, "/c") && path != ckpt.CoordMetaPath() {
@@ -371,14 +390,22 @@ func (a *audit) finishUncoordinated() {
 		want[a.ckptPath(r.Rank, r.Index)] = struct{}{}
 	}
 	root := a.familyRoot()
-	for _, path := range a.m.Store.DurablePaths() {
-		if !strings.HasPrefix(path, root) {
-			continue
+	for si, st := range a.m.Stores {
+		for _, path := range st.DurablePaths() {
+			if !strings.HasPrefix(path, root) {
+				continue
+			}
+			if !a.assert(hasKey(want, path), "indep.exact", "durable file %s has no committed record", path) {
+				continue
+			}
+			if a.m.NumStores() > 1 {
+				if rank, _, pok := parseUncoordPath(root, path); pok {
+					a.assert(si == a.m.ShardOf(rank), "shard.placement",
+						"%s durable on server %d, rank %d's shard is server %d", path, si, rank, a.m.ShardOf(rank))
+				}
+			}
+			delete(want, path)
 		}
-		if !a.assert(hasKey(want, path), "indep.exact", "durable file %s has no committed record", path) {
-			continue
-		}
-		delete(want, path)
 	}
 	for path := range want {
 		a.violatef("indep.exact", "committed checkpoint %s missing from durable storage", path)

@@ -36,6 +36,14 @@ type CellSpec struct {
 	// concurrent cells, but per-cell allocation attribution is exact only
 	// when cells run serially; arming it never changes a cell's outcome.
 	Perf *perf.Collector
+
+	// FaultPlan, when set, builds the deterministic fault plan the cell arms
+	// on its machine (storage-server outage windows and the like) from the
+	// cell seed and the workload's fault-free execution time. The oracle's
+	// own total crash still fires at the stratified point on top of it. The
+	// baseline run stays unarmed — it defines what the faulted run must
+	// still reproduce.
+	FaultPlan func(seed uint64, horizon sim.Duration) *faults.Plan
 }
 
 // CellResult summarizes a clean cell for reporting.
@@ -152,7 +160,7 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 	if err != nil {
 		return res, err
 	}
-	n := o.Cfg.Fabric.MeshW * o.Cfg.Fabric.MeshH
+	n := o.Cfg.Fabric.Nodes()
 	interval := b.exec / 8
 	if interval < 1 {
 		interval = 1
@@ -176,6 +184,11 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 	defer m.Shutdown()
 	if spec.Obs != nil {
 		m.SetObserver(spec.Obs)
+	}
+	if spec.FaultPlan != nil {
+		if plan := spec.FaultPlan(spec.Seed, b.exec); plan != nil {
+			plan.Arm(m)
+		}
 	}
 	h := newHarness(n)
 	a := newAudit(m, h, spec.Scheme)
@@ -260,7 +273,7 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 	return res, nil
 }
 
-// settleStorage returns once the stable-storage server has drained every
+// settleStorage returns once every stable-storage server has drained every
 // request of the dead incarnation. QueueLen does not count the request in
 // service, so one idle sample is not enough: two consecutive idle samples a
 // full request-service bound apart guarantee any in-service request finished
@@ -271,7 +284,7 @@ func (o *Oracle) settleStorage(p *sim.Proc, m *par.Machine) {
 		sim.BytesAt(o.Cfg.CkptImageBytes+128<<10, st.WriteBandwidth)
 	for quiet := 0; quiet < 2; {
 		p.Sleep(bound)
-		if m.Store.QueueLen() == 0 {
+		if m.StorageQueueLen() == 0 {
 			quiet++
 		} else {
 			quiet = 0

@@ -17,7 +17,7 @@ import (
 // the new incarnation. Returns the recovered round.
 func (o *Oracle) recoverCoordinated(m *par.Machine, v ckpt.Variant, opt ckpt.Options, h *Harness, a *audit, factory func(int) mp.Program) int {
 	round := 0
-	if meta, ok := m.Store.Peek(ckpt.CoordMetaPath()); ok {
+	if meta, ok := m.StoreFor(0).Peek(ckpt.CoordMetaPath()); ok {
 		if r, err := ckpt.ParseMetaRecord(meta); err == nil {
 			round = r
 		}
@@ -87,15 +87,19 @@ func (o *Oracle) recoverUncoordinated(m *par.Machine, v ckpt.Variant, opt ckpt.O
 	root := a.familyRoot()
 	m.Eng.Spawn("check-recover", func(p *sim.Proc) {
 		node0 := m.Nodes[0]
-		// 1. Reclaim durable checkpoints above the line. Enumerating storage
-		// instead of the records also catches a write the crash pre-empted
-		// between durability and bookkeeping: complete on disk, in no record
-		// — left behind, its index would be reused and corrupt the file.
-		for _, path := range m.Store.DurablePaths() {
-			rank, idx, ok := parseUncoordPath(root, path)
-			if ok && idx > line[rank] {
-				if reply := node0.StorageCallRetry(p, storage.Request{Op: storage.OpDelete, Path: path}); reply.Err != nil {
-					a.violatef("recover.reclaim", "deleting stale %s: %v", path, reply.Err)
+		// 1. Reclaim durable checkpoints above the line, on every shard.
+		// Enumerating storage instead of the records also catches a write the
+		// crash pre-empted between durability and bookkeeping: complete on
+		// disk, in no record — left behind, its index would be reused and
+		// corrupt the file. Node 0 drives the sweep, so deletes on other
+		// ranks' shards address those shards explicitly.
+		for si, st := range m.Stores {
+			for _, path := range st.DurablePaths() {
+				rank, idx, ok := parseUncoordPath(root, path)
+				if ok && idx > line[rank] {
+					if reply := node0.StorageCallRetryOn(p, si, storage.Request{Op: storage.OpDelete, Path: path}); reply.Err != nil {
+						a.violatef("recover.reclaim", "deleting stale %s: %v", path, reply.Err)
+					}
 				}
 			}
 		}

@@ -79,12 +79,21 @@ type Result struct {
 
 	Ckpt ckpt.Stats // zero value when checkpointing was off
 
-	HostLinkBusy sim.Duration // mesh→host direction busy time
-	DiskBusy     sim.Duration // stable-storage service busy time
-	StoragePeak  int64        // peak bytes durably occupied
-	FilesAtEnd   int          // durable files when the run completed
+	HostLinkBusy sim.Duration // mesh→host busy time of the first host link
+	DiskBusy     sim.Duration // total stable-storage service busy time, all servers
+	StoragePeak  int64        // peak bytes durably occupied, summed over servers
+	FilesAtEnd   int          // durable files when the run completed, all servers
 	NetMsgs      int64        // total messages injected into the fabric
 	NetBytes     int64
+
+	// Per-server aggregates of the sharded-storage machine; on the default
+	// single-server machine MaxDiskBusy == DiskBusy and MaxHostLinkBusy ==
+	// HostLinkBusy. The busiest single server (and its host link) is where
+	// the checkpoint traffic bottleneck sits — the quantity the scaling
+	// experiment tracks as storage is sharded.
+	StorageServers  int          // number of stable-storage servers
+	MaxDiskBusy     sim.Duration // busiest single server's service time
+	MaxHostLinkBusy sim.Duration // busiest host link's mesh→host busy time
 
 	Faults faults.Report // injected-fault and recovery-action tallies (zero when unarmed)
 
@@ -142,15 +151,25 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 	}
 	ps.EndCheck()
 	res := Result{
-		Workload:    wl.Name,
-		Scheme:      "none",
-		Interval:    cfg.Interval,
-		Exec:        sim.Duration(m.AppsFinished),
-		StoragePeak: m.Store.PeakOccupied(),
-		FilesAtEnd:  m.Store.NumFiles(),
+		Workload:       wl.Name,
+		Scheme:         "none",
+		Interval:       cfg.Interval,
+		Exec:           sim.Duration(m.AppsFinished),
+		StorageServers: m.NumStores(),
 	}
 	res.HostLinkBusy = m.Net.HostLinkStats().Busy
-	_, _, _, res.DiskBusy = m.Store.Stats()
+	for i, s := range m.Stores {
+		res.StoragePeak += s.PeakOccupied()
+		res.FilesAtEnd += s.NumFiles()
+		_, _, _, busy := s.Stats()
+		res.DiskBusy += busy
+		if busy > res.MaxDiskBusy {
+			res.MaxDiskBusy = busy
+		}
+		if lb := m.Net.HostLinkStatsOf(i).Busy; lb > res.MaxHostLinkBusy {
+			res.MaxHostLinkBusy = lb
+		}
+	}
 	res.NetMsgs, res.NetBytes = m.Net.TotalTraffic()
 	if sch != nil {
 		res.Scheme = sch.Name()

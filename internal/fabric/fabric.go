@@ -1,7 +1,9 @@
 // Package fabric simulates the interconnect of a transputer-style
-// multicomputer: a 2-D mesh of compute nodes with XY (dimension-ordered)
-// store-and-forward routing, plus a host link attaching one mesh node to a
-// host endpoint (the stable-storage server's machine).
+// multicomputer: compute nodes joined by a routed topology (the default is
+// the Parsytec's 2-D mesh with XY dimension-ordered store-and-forward
+// routing; package topo supplies 3-D meshes, tori and fat trees), plus one or
+// more host links attaching mesh nodes to host endpoints (the stable-storage
+// servers' machines).
 //
 // Every directed link is a FIFO resource with a latency and a bandwidth, so
 // concurrent traffic queues hop by hop; this is what produces the network
@@ -12,26 +14,43 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
-// NodeID identifies an endpoint: 0..Nodes-1 are mesh nodes, Host() is the
-// host machine behind the host link.
+// NodeID identifies an endpoint or routing vertex: 0..Nodes()-1 are compute
+// nodes, Nodes()..Nodes()+Routers()-1 are routing-only switches (indirect
+// topologies), and HostID(i) are the host machines behind the host links.
 type NodeID int
 
 // Config describes the machine's interconnect.
 type Config struct {
-	MeshW, MeshH int // mesh dimensions; compute nodes = MeshW*MeshH
+	MeshW, MeshH int // legacy 2-D mesh dimensions, used when Topo is nil
 
-	LinkBandwidth float64      // bytes/s per mesh link
+	// Topo, when non-nil, replaces the MeshW×MeshH mesh with an arbitrary
+	// routed topology (package topo). The default machine is byte-identical
+	// whether expressed as a nil Topo or an explicit topo.Mesh2D{W: 4, H: 2}.
+	Topo topo.Topology
+
+	LinkBandwidth float64      // bytes/s per topology link (scaled by the link's Cap)
 	LinkLatency   sim.Duration // per-hop wire latency
 
-	HostBandwidth float64      // bytes/s of the host link
+	HostBandwidth float64      // bytes/s of each host link
 	HostLatency   sim.Duration // host link latency
-	HostAttach    NodeID       // mesh node the host link attaches to
+	HostAttach    NodeID       // compute node host 0's link attaches to
+
+	// Hosts is the number of host endpoints — one per storage server when
+	// the storage layer is sharded; 0 or 1 means the single legacy host.
+	Hosts int
+
+	// HostAttaches optionally pins each host's attach point. Hosts beyond
+	// its length attach at evenly spread compute nodes (i*Nodes()/Hosts),
+	// except host 0 which defaults to HostAttach.
+	HostAttaches []NodeID
 
 	SendOverhead sim.Duration // software overhead charged to the sending process
 	LocalLatency sim.Duration // latency of a node-local (src == dst) delivery
@@ -49,11 +68,73 @@ type Config struct {
 	TransitCPUPerMB sim.Duration
 }
 
-// Nodes returns the number of compute nodes.
-func (c Config) Nodes() int { return c.MeshW * c.MeshH }
+// topology resolves the effective topology: explicit, or the legacy mesh.
+func (c Config) topology() topo.Topology {
+	if c.Topo != nil {
+		return c.Topo
+	}
+	return topo.Mesh2D{W: c.MeshW, H: c.MeshH}
+}
 
-// Host returns the NodeID of the host endpoint.
-func (c Config) Host() NodeID { return NodeID(c.Nodes()) }
+// Nodes returns the number of compute nodes.
+func (c Config) Nodes() int {
+	if c.Topo != nil {
+		return c.Topo.Nodes()
+	}
+	return c.MeshW * c.MeshH
+}
+
+// Routers returns the number of routing-only vertices of the topology.
+func (c Config) Routers() int {
+	if c.Topo != nil {
+		return c.Topo.Routers()
+	}
+	return 0
+}
+
+// NumHosts returns the number of host endpoints (at least 1).
+func (c Config) NumHosts() int {
+	if c.Hosts > 1 {
+		return c.Hosts
+	}
+	return 1
+}
+
+// HostID returns the NodeID of host endpoint i.
+func (c Config) HostID(i int) NodeID { return NodeID(c.Nodes() + c.Routers() + i) }
+
+// Host returns the NodeID of the first host endpoint. On the legacy
+// single-host machine this is NodeID(Nodes()), as before.
+func (c Config) Host() NodeID { return c.HostID(0) }
+
+// AttachOf returns the compute node host i's link attaches to.
+func (c Config) AttachOf(i int) NodeID {
+	if i < len(c.HostAttaches) {
+		return c.HostAttaches[i]
+	}
+	if i == 0 {
+		return c.HostAttach
+	}
+	return NodeID(i * c.Nodes() / c.NumHosts())
+}
+
+// Validate reports whether the configuration describes a buildable machine;
+// New panics on exactly the conditions Validate rejects, so CLIs can check
+// user-supplied shapes up front and fail with a usage error instead.
+func (c Config) Validate() error {
+	if c.Topo == nil && (c.MeshW < 1 || c.MeshH < 1) {
+		return errors.New("mesh dimensions must be >= 1")
+	}
+	if c.Hosts > c.Nodes() {
+		return fmt.Errorf("%d hosts exceed the topology's %d compute nodes", c.Hosts, c.Nodes())
+	}
+	for i := 0; i < c.NumHosts(); i++ {
+		if a := int(c.AttachOf(i)); a < 0 || a >= c.Nodes() {
+			return fmt.Errorf("host %d attach point %d outside the %d compute nodes", i, a, c.Nodes())
+		}
+	}
+	return nil
+}
 
 // Envelope is one message on the wire. Payload is opaque to the fabric; Size
 // is the number of bytes that occupy link bandwidth.
@@ -82,11 +163,14 @@ type link struct {
 
 // Network is the simulated interconnect.
 type Network struct {
-	eng     *sim.Engine
-	cfg     Config
-	links   map[[2]NodeID]*link // directed (from,to) including host-link endpoints
-	deliver []Handler
-	seq     uint64
+	eng      *sim.Engine
+	cfg      Config
+	top      topo.Topology
+	nNodes   int
+	nRouters int
+	links    map[[2]NodeID]*link // directed (from,to) including host-link endpoints
+	deliver  []Handler
+	seq      uint64
 
 	// Per-(src,dst) sequencing: packetized messages can overtake each other
 	// in flight, so arrivals are re-ordered before delivery to preserve the
@@ -105,11 +189,12 @@ type Network struct {
 	FaultHook func(env *Envelope) (delay sim.Duration, drop bool)
 
 	// TransitHook, when set, is told about every message forwarded through
-	// an intermediate node (software routing CPU accounting).
+	// an intermediate vertex (software routing CPU accounting; the node
+	// layer ignores routing-only switch vertices).
 	TransitHook func(node NodeID, bytes int)
 
 	// Obs receives per-sender traffic counters and the queue-wait histogram
-	// of the mesh→host direction of the host link (the path every stable-
+	// of the mesh→host direction of the host links (the path every stable-
 	// storage write takes); nil disables the instrumentation.
 	Obs *obs.Observer
 
@@ -117,89 +202,75 @@ type Network struct {
 	totalBytes int64
 }
 
-// New builds the mesh plus host link described by cfg.
+// New builds the topology plus host links described by cfg.
 func New(eng *sim.Engine, cfg Config) *Network {
-	if cfg.MeshW < 1 || cfg.MeshH < 1 {
-		panic("fabric: mesh dimensions must be >= 1")
+	if err := cfg.Validate(); err != nil {
+		panic("fabric: " + err.Error())
 	}
-	if int(cfg.HostAttach) >= cfg.Nodes() {
-		panic("fabric: HostAttach outside mesh")
-	}
+	top := cfg.topology()
+	nh := cfg.NumHosts()
 	n := &Network{
-		eng:     eng,
-		cfg:     cfg,
-		links:   make(map[[2]NodeID]*link),
-		deliver: make([]Handler, cfg.Nodes()+1),
-		sendSeq: make(map[[2]NodeID]uint64),
-		nextRcv: make(map[[2]NodeID]uint64),
-		held:    make(map[[2]NodeID]map[uint64]arrival),
+		eng:      eng,
+		cfg:      cfg,
+		top:      top,
+		nNodes:   top.Nodes(),
+		nRouters: top.Routers(),
+		links:    make(map[[2]NodeID]*link),
+		deliver:  make([]Handler, top.Nodes()+top.Routers()+nh),
+		sendSeq:  make(map[[2]NodeID]uint64),
+		nextRcv:  make(map[[2]NodeID]uint64),
+		held:     make(map[[2]NodeID]map[uint64]arrival),
 	}
 	addLink := func(a, b NodeID, lat sim.Duration, bw float64) {
 		n.links[[2]NodeID{a, b}] = &link{res: sim.NewResource(eng, 1), lat: lat, bw: bw}
 		n.links[[2]NodeID{b, a}] = &link{res: sim.NewResource(eng, 1), lat: lat, bw: bw}
 	}
-	for y := 0; y < cfg.MeshH; y++ {
-		for x := 0; x < cfg.MeshW; x++ {
-			id := n.nodeAt(x, y)
-			if x+1 < cfg.MeshW {
-				addLink(id, n.nodeAt(x+1, y), cfg.LinkLatency, cfg.LinkBandwidth)
-			}
-			if y+1 < cfg.MeshH {
-				addLink(id, n.nodeAt(x, y+1), cfg.LinkLatency, cfg.LinkBandwidth)
-			}
+	for _, lk := range top.Links() {
+		mult := lk.Cap
+		if mult <= 0 {
+			mult = 1
 		}
+		addLink(NodeID(lk.A), NodeID(lk.B), cfg.LinkLatency, cfg.LinkBandwidth*mult)
 	}
-	addLink(cfg.HostAttach, cfg.Host(), cfg.HostLatency, cfg.HostBandwidth)
+	for i := 0; i < nh; i++ {
+		addLink(cfg.AttachOf(i), cfg.HostID(i), cfg.HostLatency, cfg.HostBandwidth)
+	}
 	return n
 }
 
 // Config returns the interconnect configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-func (n *Network) nodeAt(x, y int) NodeID { return NodeID(y*n.cfg.MeshW + x) }
+// isHost reports whether id is a host endpoint (as opposed to a compute node
+// or a routing-only switch).
+func (n *Network) isHost(id NodeID) bool { return int(id) >= n.nNodes+n.nRouters }
 
-func (n *Network) coords(id NodeID) (x, y int) {
-	return int(id) % n.cfg.MeshW, int(id) / n.cfg.MeshW
-}
+func (n *Network) hostIndex(id NodeID) int { return int(id) - n.nNodes - n.nRouters }
 
-// Path returns the sequence of directed hops from src to dst using XY
-// routing on the mesh, traversing the host link first/last as needed.
+// Path returns the sequence of directed hops from src to dst along the
+// topology's deterministic route, traversing a host link first/last as
+// needed.
 func (n *Network) Path(src, dst NodeID) [][2]NodeID {
 	if src == dst {
 		return nil
 	}
 	var hops [][2]NodeID
 	cur := src
-	if src == n.cfg.Host() {
-		hops = append(hops, [2]NodeID{src, n.cfg.HostAttach})
-		cur = n.cfg.HostAttach
+	if n.isHost(src) {
+		attach := n.cfg.AttachOf(n.hostIndex(src))
+		hops = append(hops, [2]NodeID{src, attach})
+		cur = attach
 	}
 	meshDst := dst
-	if dst == n.cfg.Host() {
-		meshDst = n.cfg.HostAttach
+	if n.isHost(dst) {
+		meshDst = n.cfg.AttachOf(n.hostIndex(dst))
 	}
-	cx, cy := n.coords(cur)
-	dx, dy := n.coords(meshDst)
-	for cx != dx {
-		step := 1
-		if dx < cx {
-			step = -1
-		}
-		next := n.nodeAt(cx+step, cy)
-		hops = append(hops, [2]NodeID{n.nodeAt(cx, cy), next})
-		cx += step
+	for _, v := range n.top.Route(int(cur), int(meshDst)) {
+		hops = append(hops, [2]NodeID{cur, NodeID(v)})
+		cur = NodeID(v)
 	}
-	for cy != dy {
-		step := 1
-		if dy < cy {
-			step = -1
-		}
-		next := n.nodeAt(cx, cy+step)
-		hops = append(hops, [2]NodeID{n.nodeAt(cx, cy), next})
-		cy += step
-	}
-	if dst == n.cfg.Host() {
-		hops = append(hops, [2]NodeID{n.cfg.HostAttach, dst})
+	if n.isHost(dst) {
+		hops = append(hops, [2]NodeID{cur, dst})
 	}
 	return hops
 }
@@ -211,9 +282,9 @@ func (n *Network) SetDeliver(id NodeID, h Handler) { n.deliver[id] = h }
 // software send overhead is charged to it (the sender blocks for that time);
 // transport then proceeds asynchronously via a courier process, so Send
 // models a non-blocking (buffered) send. Send panics on an invalid
-// destination.
+// destination (routing-only switches are not endpoints).
 func (n *Network) Send(sender *sim.Proc, env *Envelope) {
-	if int(env.Dst) < 0 || int(env.Dst) > n.cfg.Nodes() {
+	if d := int(env.Dst); d < 0 || d >= len(n.deliver) || (d >= n.nNodes && !n.isHost(env.Dst)) {
 		panic(fmt.Sprintf("fabric: send to invalid node %d", env.Dst))
 	}
 	n.seq++
@@ -241,17 +312,16 @@ func (n *Network) Send(sender *sim.Proc, env *Envelope) {
 		faultDelay, dropped = n.FaultHook(env)
 	}
 	path := n.Path(env.Src, env.Dst)
-	hostHop := [2]NodeID{n.cfg.HostAttach, n.cfg.Host()}
 	n.eng.Spawn(fmt.Sprintf("courier:%d->%d#%d", env.Src, env.Dst, env.Seq), func(p *sim.Proc) {
 		for _, hop := range path {
 			l := n.links[hop]
 			remaining := env.Size
-			// Queue-wait accounting for the host-link hop: the time this
+			// Queue-wait accounting for the host-link hops: the time this
 			// message's packets spend waiting behind competing traffic for
 			// the shared path to stable storage. Observing the clock does not
 			// perturb the acquisition order, so instrumented runs keep the
 			// exact virtual schedule.
-			measure := n.Obs.Enabled() && hop == hostHop
+			measure := n.Obs.Enabled() && n.isHost(hop[1])
 			var waited sim.Duration
 			for {
 				chunk := remaining
@@ -340,13 +410,17 @@ type LinkStats struct {
 	Busy     sim.Duration
 }
 
-// HostLinkStats returns traffic stats of the mesh→host direction of the host
-// link, the principal bottleneck for checkpoint traffic.
-func (n *Network) HostLinkStats() LinkStats {
-	key := [2]NodeID{n.cfg.HostAttach, n.cfg.Host()}
+// HostLinkStatsOf returns traffic stats of the mesh→host direction of host
+// link i, the principal bottleneck for checkpoint traffic to that server.
+func (n *Network) HostLinkStatsOf(i int) LinkStats {
+	key := [2]NodeID{n.cfg.AttachOf(i), n.cfg.HostID(i)}
 	l := n.links[key]
 	return LinkStats{From: key[0], To: key[1], Bytes: l.bytes, Msgs: l.msgs, Busy: l.res.BusyTime()}
 }
+
+// HostLinkStats returns traffic stats of the mesh→host direction of the
+// first host link (the only one on the legacy single-server machine).
+func (n *Network) HostLinkStats() LinkStats { return n.HostLinkStatsOf(0) }
 
 // TotalTraffic returns the total number of messages and payload bytes
 // injected since the network was created.

@@ -51,9 +51,21 @@ func (w Window) contains(t sim.Time) bool { return t >= w.At && t < w.At.Add(w.D
 // explicitly or generated as a Poisson process over the plan's horizon.
 type StorageFaults struct {
 	ErrProb    float64      // per data-request probability of a transient error
-	Outages    []Window     // explicitly scheduled unavailability windows
+	Outages    []Window     // unavailability windows applying to every server
 	OutageMTTF sim.Duration // mean time between generated outages (0 = none)
 	OutageDur  sim.Duration // duration of each generated outage
+
+	// ServerOutages schedules unavailability windows on individual storage
+	// servers of a sharded machine; only the ranks placed on that shard see
+	// the outage, while the others keep checkpointing. Indices beyond the
+	// machine's server count are ignored.
+	ServerOutages []ServerOutage
+}
+
+// ServerOutage is an unavailability window on one storage server.
+type ServerOutage struct {
+	Server int // index into the machine's Stores
+	Window
 }
 
 // Burst is a scheduled window during which every application message
@@ -192,37 +204,49 @@ func (a *Armed) armStorage() {
 			t += sf.OutageDur
 		}
 	}
-	if len(a.outages) == 0 && sf.ErrProb <= 0 {
+	if len(a.outages) == 0 && sf.ErrProb <= 0 && len(sf.ServerOutages) == 0 {
 		return
 	}
-	host := int(a.m.Cfg.Fabric.Host())
-	// One span per outage window on the host's trace, bracketed by events at
-	// the window edges (events only observe the clock; the schedule is fixed
-	// at arm time, so they perturb nothing).
-	if a.m.Obs.Enabled() {
-		for _, w := range a.outages {
-			w := w
-			a.m.Eng.At(w.At, func() {
-				sp := a.m.Obs.Start(host, obs.TidProto, "faults.outage")
-				a.m.Eng.After(w.Dur, sp.End)
-			})
-		}
-	}
-	a.m.Store.FaultHook = func(op storage.Op, path string) error {
-		now := a.m.Eng.Now()
-		for _, w := range a.outages {
-			if w.contains(now) {
-				a.OutageHits++
-				a.m.Obs.Add(host, "faults.outage_hits", 1)
-				return fmt.Errorf("%w: outage window", storage.ErrUnavailable)
+	// Every server gets its own hook: the machine-wide windows plus its own
+	// scheduled outages. The transient-error stream is shared across servers
+	// and consumed in request service order, which the single-runner engine
+	// keeps deterministic.
+	for si := range a.m.Stores {
+		host := int(a.m.Cfg.Fabric.HostID(si))
+		windows := append([]Window(nil), a.outages...)
+		for _, so := range sf.ServerOutages {
+			if so.Server == si {
+				windows = append(windows, so.Window)
 			}
 		}
-		if sf.ErrProb > 0 && dataOp(op) && a.storageRand.Float64() < sf.ErrProb {
-			a.StorageErrors++
-			a.m.Obs.Add(host, "faults.storage_errors", 1)
-			return fmt.Errorf("%w: injected fault on %s", storage.ErrUnavailable, path)
+		// One span per outage window on the server host's trace, bracketed by
+		// events at the window edges (events only observe the clock; the
+		// schedule is fixed at arm time, so they perturb nothing).
+		if a.m.Obs.Enabled() {
+			for _, w := range windows {
+				w := w
+				a.m.Eng.At(w.At, func() {
+					sp := a.m.Obs.Start(host, obs.TidProto, "faults.outage")
+					a.m.Eng.After(w.Dur, sp.End)
+				})
+			}
 		}
-		return nil
+		a.m.Stores[si].FaultHook = func(op storage.Op, path string) error {
+			now := a.m.Eng.Now()
+			for _, w := range windows {
+				if w.contains(now) {
+					a.OutageHits++
+					a.m.Obs.Add(host, "faults.outage_hits", 1)
+					return fmt.Errorf("%w: outage window", storage.ErrUnavailable)
+				}
+			}
+			if sf.ErrProb > 0 && dataOp(op) && a.storageRand.Float64() < sf.ErrProb {
+				a.StorageErrors++
+				a.m.Obs.Add(host, "faults.storage_errors", 1)
+				return fmt.Errorf("%w: injected fault on %s", storage.ErrUnavailable, path)
+			}
+			return nil
+		}
 	}
 }
 

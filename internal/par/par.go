@@ -48,6 +48,19 @@ type Config struct {
 	// (stack, library buffers, bookkeeping) written in addition to the
 	// application's data — CHK-LIB saved process state, not bare arrays.
 	CkptImageBytes int
+
+	// StorageServers shards stable storage across this many servers, each
+	// behind its own host link (attach points from Fabric.HostAttaches, or
+	// an even spread). 0 or 1 reproduces the paper's single SunSparc file
+	// server. Every rank's files live on exactly one server, chosen by the
+	// Placement policy; the storage client addresses that shard for the
+	// rank's saves and recovery reads alike.
+	StorageServers int
+
+	// Placement names the rank→server placement policy
+	// (storage.ParsePlacement): "stripe" (round-robin, the default),
+	// "hash", or "nearest".
+	Placement string
 }
 
 // DefaultConfig returns parameters calibrated to the paper's testbed: a
@@ -177,11 +190,23 @@ func DefaultRetryPolicy() RetryPolicy {
 
 // Machine is the simulated multicomputer.
 type Machine struct {
-	Eng   *sim.Engine
-	Cfg   Config
-	Net   *fabric.Network
+	Eng *sim.Engine
+	Cfg Config
+	Net *fabric.Network
+
+	// Store is the first (on the default machine: only) stable-storage
+	// server — an alias of Stores[0] kept for the single-server call sites.
 	Store *storage.Server
+
+	// Stores holds every storage server; server i sits behind host link i
+	// (fabric HostID(i)). Len 1 unless Config.StorageServers shards storage.
+	Stores []*storage.Server
+
 	Nodes []*Node
+
+	// shard maps each rank to the index in Stores holding its files,
+	// resolved once from Config.Placement at build time.
+	shard []int
 
 	// Retry governs StorageCallRetry and the checkpoint daemons' durable
 	// writes. The zero value (single attempt) is the unarmed default; the
@@ -213,16 +238,30 @@ type Machine struct {
 	AppsFinished sim.Time
 }
 
-// NewMachine builds the machine: engine, fabric, storage server and nodes.
+// NewMachine builds the machine: engine, fabric, storage servers and nodes.
 func NewMachine(cfg Config) *Machine {
+	if cfg.StorageServers > 1 && cfg.Fabric.Hosts < cfg.StorageServers {
+		cfg.Fabric.Hosts = cfg.StorageServers // one host endpoint per server
+	}
+	pl, err := storage.ParsePlacement(cfg.Placement)
+	if err != nil {
+		panic("par: " + err.Error())
+	}
 	eng := sim.New()
 	m := &Machine{
-		Eng:   eng,
-		Cfg:   cfg,
-		Net:   fabric.New(eng, cfg.Fabric),
-		Store: storage.New(eng, cfg.Storage),
+		Eng: eng,
+		Cfg: cfg,
+		Net: fabric.New(eng, cfg.Fabric),
 	}
+	m.Stores = make([]*storage.Server, cfg.Fabric.NumHosts())
+	for i := range m.Stores {
+		m.Stores[i] = storage.New(eng, cfg.Storage)
+	}
+	m.Store = m.Stores[0]
 	n := cfg.Fabric.Nodes()
+	m.shard = pl.Assign(n, len(m.Stores), func(rank, server int) int {
+		return len(m.Net.Path(fabric.NodeID(rank), cfg.Fabric.HostID(server)))
+	})
 	m.Nodes = make([]*Node, n)
 	for i := 0; i < n; i++ {
 		node := &Node{M: m, ID: i, Alive: true}
@@ -230,7 +269,10 @@ func NewMachine(cfg Config) *Machine {
 		m.Nodes[i] = node
 		m.Net.SetDeliver(fabric.NodeID(i), node.deliver)
 	}
-	m.Net.SetDeliver(cfg.Fabric.Host(), m.hostDeliver)
+	for i := range m.Stores {
+		i := i
+		m.Net.SetDeliver(cfg.Fabric.HostID(i), func(env *fabric.Envelope) { m.hostDeliver(i, env) })
+	}
 	if cfg.Fabric.TransitCPUPerMB > 0 {
 		m.Net.TransitHook = func(id fabric.NodeID, bytes int) {
 			if int(id) < n {
@@ -258,22 +300,50 @@ func (m *Machine) SetObserver(o *obs.Observer) {
 	for i := range m.Nodes {
 		o.PidName(i, fmt.Sprintf("node%d", i))
 	}
-	host := int(m.Cfg.Fabric.Host())
-	o.PidName(host, "host")
-	o.TidName(host, obs.TidDaemon, "storage")
 	m.Net.Obs = o
-	m.Store.SetObserver(o, host)
+	if len(m.Stores) == 1 {
+		host := int(m.Cfg.Fabric.Host())
+		o.PidName(host, "host")
+		o.TidName(host, obs.TidDaemon, "storage")
+		m.Store.SetObserver(o, host)
+		return
+	}
+	for i, s := range m.Stores {
+		host := int(m.Cfg.Fabric.HostID(i))
+		o.PidName(host, fmt.Sprintf("host%d", i))
+		o.TidName(host, obs.TidDaemon, "storage")
+		s.SetObserver(o, host)
+	}
 }
 
-// hostDeliver services envelopes addressed to the host: stable-storage
-// requests carried as payloads.
-func (m *Machine) hostDeliver(env *fabric.Envelope) {
+// hostDeliver services envelopes addressed to host endpoint i: stable-
+// storage requests for server i carried as payloads.
+func (m *Machine) hostDeliver(i int, env *fabric.Envelope) {
 	if env.Inc != m.Epoch {
 		return // stale traffic from a previous incarnation
 	}
 	if req, ok := env.Payload.(storage.Request); ok {
-		m.Store.Submit(req)
+		m.Stores[i].Submit(req)
 	}
+}
+
+// NumStores returns the number of stable-storage servers.
+func (m *Machine) NumStores() int { return len(m.Stores) }
+
+// ShardOf returns the index of the storage server holding rank's files.
+func (m *Machine) ShardOf(rank int) int { return m.shard[rank] }
+
+// StoreFor returns the storage server holding rank's files.
+func (m *Machine) StoreFor(rank int) *storage.Server { return m.Stores[m.shard[rank]] }
+
+// StorageQueueLen sums the request backlog across every storage server
+// (mailbox plus the request in service).
+func (m *Machine) StorageQueueLen() int {
+	total := 0
+	for _, s := range m.Stores {
+		total += s.QueueLen()
+	}
+	return total
 }
 
 // OnAllAppsDone registers fn to run when the last live application process
@@ -361,7 +431,9 @@ func (m *Machine) CrashAll() {
 	for _, n := range m.Nodes {
 		n.crash()
 	}
-	m.Store.Crash()
+	for _, s := range m.Stores {
+		s.Crash()
+	}
 }
 
 // CrashNode models a single-node failure.
@@ -576,13 +648,17 @@ type storageTimeout struct {
 	id int
 }
 
+// Shard returns the index of the storage server holding this rank's files —
+// the default target of every storage operation issued from the node.
+func (n *Node) Shard() int { return n.M.shard[n.ID] }
+
 // StorageCall performs a stable-storage operation over the fabric: the
-// request (with its data) travels to the host, queues at the server, and
-// the reply returns to this node's daemon port. The calling process parks
-// until the reply arrives. It must only be called from a process that owns
-// the daemon mailbox (the checkpointer daemon), and may consume unrelated
-// envelopes' queue positions only logically: selective receive leaves other
-// envelopes queued.
+// request (with its data) travels to the rank's shard's host, queues at the
+// server, and the reply returns to this node's daemon port. The calling
+// process parks until the reply arrives. It must only be called from a
+// process that owns the daemon mailbox (the checkpointer daemon), and may
+// consume unrelated envelopes' queue positions only logically: selective
+// receive leaves other envelopes queued.
 func (n *Node) StorageCall(p *sim.Proc, req storage.Request) storage.Reply {
 	reply, _ := n.StorageCallTimeout(p, req, 0)
 	return reply
@@ -593,11 +669,18 @@ func (n *Node) StorageCall(p *sim.Proc, req storage.Request) storage.Reply {
 // ok=false and an ErrUnavailable reply; the late reply, when it eventually
 // arrives, is discarded by a later storage call on this node.
 func (n *Node) StorageCallTimeout(p *sim.Proc, req storage.Request, timeout sim.Duration) (storage.Reply, bool) {
+	return n.StorageCallTimeoutOn(p, n.Shard(), req, timeout)
+}
+
+// StorageCallTimeoutOn is StorageCallTimeout addressed at an explicit shard
+// instead of the rank's own — recovery drivers use it to reclaim files that
+// other ranks own.
+func (n *Node) StorageCallTimeoutOn(p *sim.Proc, shard int, req storage.Request, timeout sim.Duration) (storage.Reply, bool) {
 	n.drainAbandoned()
 	n.reqSeq++
 	id := n.reqSeq
 	me := fabric.NodeID(n.ID)
-	host := n.M.Cfg.Fabric.Host()
+	host := n.M.Cfg.Fabric.HostID(shard)
 	epoch := n.M.Epoch
 	req.Done = func(r storage.Reply) {
 		// Runs in storage-server context on the host: send the reply back
@@ -660,6 +743,11 @@ func (n *Node) drainAbandoned() {
 // returned immediately, and under the zero policy the behavior is exactly
 // StorageCall's.
 func (n *Node) StorageCallRetry(p *sim.Proc, req storage.Request) storage.Reply {
+	return n.StorageCallRetryOn(p, n.Shard(), req)
+}
+
+// StorageCallRetryOn is StorageCallRetry addressed at an explicit shard.
+func (n *Node) StorageCallRetryOn(p *sim.Proc, shard int, req storage.Request) storage.Reply {
 	attempts := n.M.Retry.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -667,7 +755,7 @@ func (n *Node) StorageCallRetry(p *sim.Proc, req storage.Request) storage.Reply 
 	var reply storage.Reply
 	for attempt := 0; ; attempt++ {
 		var ok bool
-		reply, ok = n.StorageCallTimeout(p, req, n.M.Retry.Timeout)
+		reply, ok = n.StorageCallTimeoutOn(p, shard, req, n.M.Retry.Timeout)
 		if ok && !errors.Is(reply.Err, storage.ErrUnavailable) {
 			return reply
 		}
@@ -679,12 +767,12 @@ func (n *Node) StorageCallRetry(p *sim.Proc, req storage.Request) storage.Reply 
 	}
 }
 
-// StorageSend transmits a stable-storage request without waiting for a
-// reply (fire-and-forget). Requests from one node are delivered and
-// serviced in FIFO order, so a subsequent StorageCall acts as a barrier for
-// all preceding StorageSends.
+// StorageSend transmits a stable-storage request to the rank's shard without
+// waiting for a reply (fire-and-forget). Requests from one node to its shard
+// are delivered and serviced in FIFO order, so a subsequent StorageCall acts
+// as a barrier for all preceding StorageSends.
 func (n *Node) StorageSend(sender *sim.Proc, req storage.Request) {
-	n.Send(sender, n.M.Cfg.Fabric.Host(), PortDaemon, req, len(req.Data))
+	n.Send(sender, n.M.Cfg.Fabric.HostID(n.Shard()), PortDaemon, req, len(req.Data))
 }
 
 // MemCopyTime returns the time to copy n bytes within node memory

@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// instances covers every family at several shapes, including the degenerate
+// ones (1-wide meshes, 2-rings whose wrap link coincides with the mesh link).
+func instances() []Topology {
+	return []Topology{
+		Mesh2D{W: 4, H: 2},
+		Mesh2D{W: 1, H: 6},
+		Mesh2D{W: 8, H: 8},
+		Mesh3D{X: 3, Y: 2, Z: 4},
+		Mesh3D{X: 4, Y: 4, Z: 4},
+		Torus2D{W: 2, H: 2},
+		Torus2D{W: 5, H: 3},
+		Torus2D{W: 8, H: 8},
+		FatTree{Arity: 2, Levels: 1},
+		FatTree{Arity: 2, Levels: 3},
+		FatTree{Arity: 4, Levels: 2},
+	}
+}
+
+// adjacency builds the undirected link set for route validation.
+func adjacency(t Topology) map[[2]int]bool {
+	adj := map[[2]int]bool{}
+	for _, l := range t.Links() {
+		adj[[2]int{l.A, l.B}] = true
+		adj[[2]int{l.B, l.A}] = true
+	}
+	return adj
+}
+
+// TestRouteDeliversAllPairs is the routing property test: on every topology,
+// every compute (src,dst) pair is routed over declared links only, ends at
+// dst, stays within the diameter, and is deterministic.
+func TestRouteDeliversAllPairs(t *testing.T) {
+	for _, top := range instances() {
+		adj := adjacency(top)
+		n := top.Nodes()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				path := top.Route(src, dst)
+				if src == dst {
+					if len(path) != 0 {
+						t.Fatalf("%s: Route(%d,%d) = %v, want empty", top.Name(), src, dst, path)
+					}
+					continue
+				}
+				if len(path) == 0 || path[len(path)-1] != dst {
+					t.Fatalf("%s: Route(%d,%d) = %v does not end at dst", top.Name(), src, dst, path)
+				}
+				if len(path) > top.Diameter() {
+					t.Fatalf("%s: Route(%d,%d) takes %d hops, diameter is %d",
+						top.Name(), src, dst, len(path), top.Diameter())
+				}
+				cur := src
+				for _, v := range path {
+					if !adj[[2]int{cur, v}] {
+						t.Fatalf("%s: Route(%d,%d) = %v uses undeclared link %d-%d",
+							top.Name(), src, dst, path, cur, v)
+					}
+					cur = v
+				}
+				if again := top.Route(src, dst); !reflect.DeepEqual(again, path) {
+					t.Fatalf("%s: Route(%d,%d) not deterministic: %v vs %v",
+						top.Name(), src, dst, path, again)
+				}
+			}
+		}
+	}
+}
+
+// TestDiameterIsTight verifies some pair actually needs Diameter() hops, so
+// the bound used by the property test is not vacuous.
+func TestDiameterIsTight(t *testing.T) {
+	for _, top := range instances() {
+		max := 0
+		n := top.Nodes()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if h := len(top.Route(src, dst)); h > max {
+					max = h
+				}
+			}
+		}
+		if max != top.Diameter() {
+			t.Errorf("%s: max route length %d, Diameter() = %d", top.Name(), max, top.Diameter())
+		}
+	}
+}
+
+// TestMesh2DGoldenRoutes pins the default 2×4 mesh's XY routes to the exact
+// hop sequences the legacy fabric produced (x correction first, then y), the
+// routing half of the byte-identity guarantee for Tables 1–3.
+func TestMesh2DGoldenRoutes(t *testing.T) {
+	m := Mesh2D{W: 4, H: 2} // ids: row 0 = 0..3, row 1 = 4..7
+	cases := []struct {
+		src, dst int
+		want     []int
+	}{
+		{0, 0, nil},
+		{0, 1, []int{1}},
+		{0, 3, []int{1, 2, 3}},
+		{0, 7, []int{1, 2, 3, 7}},
+		{3, 4, []int{2, 1, 0, 4}},
+		{7, 0, []int{6, 5, 4, 0}},
+		{5, 2, []int{6, 2}},
+	}
+	for _, c := range cases {
+		if got := m.Route(c.src, c.dst); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Route(%d,%d) = %v, want %v", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+// TestFatTreeShape pins the indirect topology's vertex layout and uplink
+// capacities.
+func TestFatTreeShape(t *testing.T) {
+	ft := FatTree{Arity: 2, Levels: 2} // 4 leaves, 3 switches
+	if ft.Nodes() != 4 || ft.Routers() != 3 {
+		t.Fatalf("nodes=%d routers=%d, want 4 and 3", ft.Nodes(), ft.Routers())
+	}
+	// Leaves 0..3; root = 4; level-1 switches = 5, 6.
+	if got := ft.Route(0, 3); !reflect.DeepEqual(got, []int{5, 4, 6, 3}) {
+		t.Errorf("Route(0,3) = %v, want [5 4 6 3]", got)
+	}
+	if got := ft.Route(0, 1); !reflect.DeepEqual(got, []int{5, 1}) {
+		t.Errorf("Route(0,1) = %v, want [5 1]", got)
+	}
+	for _, l := range ft.Links() {
+		wantCap := 1.0
+		if l.A >= ft.Nodes() { // switch-to-switch uplink
+			wantCap = 2.0
+		}
+		if l.Cap != wantCap {
+			t.Errorf("link %d-%d has cap %v, want %v", l.A, l.B, l.Cap, wantCap)
+		}
+	}
+}
+
+// TestParse covers the spec grammar including the error paths the CLIs
+// surface as usage errors.
+func TestParse(t *testing.T) {
+	good := map[string]string{
+		"mesh:4x2":     "mesh:4x2",
+		"4x2":          "mesh:4x2",
+		"mesh3d:4x4x4": "mesh3d:4x4x4",
+		"torus:16x16":  "torus:16x16",
+		"fattree:4x3":  "fattree:4x3",
+	}
+	for spec, want := range good {
+		top, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if top.Name() != want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", spec, top.Name(), want)
+		}
+	}
+	bad := []string{"", "mesh:0x2", "mesh:4", "mesh:axb", "ring:8", "mesh:4x-2", "fattree:1x3", "mesh3d:4x4", "mesh:2048x2048"}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
