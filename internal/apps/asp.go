@@ -164,6 +164,15 @@ func (a *ASP) Snapshot() []byte {
 	return w.Bytes()
 }
 
+// StatePageSize exposes the snapshot's dirty-tracking granularity for
+// incremental checkpointing (par.Paged): one encoded distance row.
+func (a *ASP) StatePageSize() int {
+	if len(a.Rows) == 0 {
+		return 0
+	}
+	return 8 * len(a.Rows[0])
+}
+
 // Restore resets the program to a snapshot taken at a step boundary.
 func (a *ASP) Restore(data []byte) {
 	r := codec.NewReader(data)

@@ -174,6 +174,15 @@ func (g *Gauss) Snapshot() []byte {
 	return w.Bytes()
 }
 
+// StatePageSize exposes the snapshot's dirty-tracking granularity for
+// incremental checkpointing (par.Paged): one encoded matrix row.
+func (g *Gauss) StatePageSize() int {
+	if len(g.Rows) == 0 {
+		return 0
+	}
+	return 8 * len(g.Rows[0])
+}
+
 // Restore resets the program to a snapshot taken at a step boundary.
 func (g *Gauss) Restore(data []byte) {
 	r := codec.NewReader(data)

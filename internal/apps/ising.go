@@ -243,6 +243,15 @@ func (g *Ising) Snapshot() []byte {
 	return w.Bytes()
 }
 
+// StatePageSize exposes the snapshot's dirty-tracking granularity for
+// incremental checkpointing (par.Paged): one coupling-row stride.
+func (g *Ising) StatePageSize() int {
+	if len(g.Rows) == 0 {
+		return 0
+	}
+	return 8 * len(g.Rows[0])
+}
+
 // Restore resets the program to a snapshot taken at a sweep boundary.
 func (g *Ising) Restore(data []byte) {
 	r := codec.NewReader(data)

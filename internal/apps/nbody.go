@@ -215,6 +215,11 @@ func (b *NBody) Snapshot() []byte {
 	return w.Bytes()
 }
 
+// StatePageSize exposes the snapshot's dirty-tracking granularity for
+// incremental checkpointing (par.Paged): a bundle of 16 encoded bodies
+// (7 float64 fields each).
+func (b *NBody) StatePageSize() int { return 16 * 7 * 8 }
+
 // Restore resets the program to a snapshot taken at a step boundary.
 func (b *NBody) Restore(data []byte) {
 	r := codec.NewReader(data)

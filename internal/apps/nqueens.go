@@ -177,6 +177,11 @@ func (q *NQueens) Snapshot() []byte {
 	return w.Bytes()
 }
 
+// StatePageSize exposes the snapshot's dirty-tracking granularity for
+// incremental checkpointing (par.Paged): the role state is a handful of
+// counters, so pages are small.
+func (q *NQueens) StatePageSize() int { return 256 }
+
 // Restore resets the role state from a snapshot.
 func (q *NQueens) Restore(data []byte) {
 	r := codec.NewReader(data)

@@ -197,6 +197,10 @@ func (s *SOR) Snapshot() []byte {
 	return w.Bytes()
 }
 
+// StatePageSize exposes the snapshot's dirty-tracking granularity for
+// incremental checkpointing (par.Paged): one encoded grid row.
+func (s *SOR) StatePageSize() int { return 8 * s.Size }
+
 // Restore resets the program to a snapshot taken at an iteration boundary.
 func (s *SOR) Restore(data []byte) {
 	r := codec.NewReader(data)

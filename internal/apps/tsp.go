@@ -314,6 +314,11 @@ func (t *TSP) Snapshot() []byte {
 	return w.Bytes()
 }
 
+// StatePageSize exposes the snapshot's dirty-tracking granularity for
+// incremental checkpointing (par.Paged): the role state is a handful of
+// counters plus the incumbent tour, so pages are small.
+func (t *TSP) StatePageSize() int { return 256 }
+
 // Restore resets the role state from a snapshot.
 func (t *TSP) Restore(data []byte) {
 	r := codec.NewReader(data)

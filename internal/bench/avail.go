@@ -42,7 +42,11 @@ func AvailabilityExperiment(w io.Writer, cfg par.Config, quick bool, r *Runner) 
 func AvailabilityExperimentSeeded(w io.Writer, cfg par.Config, quick bool, r *Runner, seed uint64) error {
 	r = r.orDefault()
 	wl := apps.SORWorkload(apps.DefaultSOR(pick(quick, 128, 512), pick(quick, 40, 100)))
-	schemes := []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC}
+	schemes := []ckpt.Variant{
+		ckpt.CoordNB, ckpt.CoordNBInc,
+		ckpt.Indep, ckpt.IndepInc,
+		ckpt.CIC, ckpt.CICInc,
+	}
 	divs := pick(quick, []int{4}, []int{8, 4})
 	mttfs := pick(quick,
 		[]sim.Duration{20 * sim.Second, 60 * sim.Second},

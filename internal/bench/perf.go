@@ -19,9 +19,11 @@ import (
 const (
 	PerfMatrixFull = "pinned-v1"
 	// quick-v2 extended quick-v1 with one 64-node/4-server sharded-storage
-	// cell (the topology subsystem's scaling hot path); BENCH_baseline.json
-	// was regenerated at the bump.
-	PerfMatrixQuick = "quick-v2"
+	// cell (the topology subsystem's scaling hot path). quick-v3 added the
+	// incremental scheme Indep_INC to the quick scheme set (the delta-codec
+	// and dirty-tracker hot paths); BENCH_baseline.json was regenerated at
+	// each bump.
+	PerfMatrixQuick = "quick-v3"
 )
 
 // perfWorkloads returns the pinned workload set: one representative per
@@ -46,10 +48,12 @@ func perfWorkloads(quick bool) []apps.Workload {
 // perfSchemes returns the pinned scheme set: both coordinated poles (fully
 // blocking and staggered main-memory), both independent variants, and both
 // CIC variants — the protocol mix that exercises every engine hot path
-// (markers, piggybacks, logging, storage traffic).
+// (markers, piggybacks, logging, storage traffic). The quick set carries one
+// incremental scheme so the delta codec and dirty tracker stay on the
+// measured hot path.
 func perfSchemes(quick bool) []ckpt.Variant {
 	if quick {
-		return []ckpt.Variant{ckpt.CoordNBMS, ckpt.Indep, ckpt.CICM}
+		return []ckpt.Variant{ckpt.CoordNBMS, ckpt.Indep, ckpt.IndepInc, ckpt.CICM}
 	}
 	return []ckpt.Variant{ckpt.CoordB, ckpt.CoordNBMS, ckpt.Indep, ckpt.IndepM, ckpt.CIC, ckpt.CICM}
 }
@@ -80,7 +84,7 @@ func RunPerf(ctx context.Context, cfg par.Config, quick bool, r *Runner, stamp s
 		return nil, err
 	}
 	if quick {
-		// quick-v2's scaling cell: the 64-node mesh with storage striped over
+		// The scaling cell added in quick-v2: the 64-node mesh with storage striped over
 		// 4 servers, the cheapest cell that drives the topology subsystem's
 		// hot paths (big-mesh routing, shard fan-out) through the perf
 		// telemetry. The full matrix predates the subsystem and is pinned, so

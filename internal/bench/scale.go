@@ -25,8 +25,14 @@ func (c ScaleCell) Nodes() int { return c.MeshW * c.MeshH }
 
 // ScaleSchemes is the scheme axis of E14: one representative per protocol
 // family — the families contend for storage in qualitatively different ways
-// (synchronized bursts vs staggered autonomous writes).
-var ScaleSchemes = []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC}
+// (synchronized bursts vs staggered autonomous writes) — plus each family's
+// incremental variant, whose delta encoding shrinks exactly the traffic the
+// experiment stresses (checkpoint bytes through the host link and disk).
+var ScaleSchemes = []ckpt.Variant{
+	ckpt.CoordNB, ckpt.CoordNBInc,
+	ckpt.Indep, ckpt.IndepInc,
+	ckpt.CIC, ckpt.CICInc,
+}
 
 // ScaleGrid returns the E14 cell grid: meshes from the paper's 8 nodes up to
 // 1024, crossed with storage-server counts, minus combinations with more

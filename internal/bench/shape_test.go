@@ -66,5 +66,17 @@ func TestTable1HeadlineShape(t *testing.T) {
 			t.Errorf("%s: CIC termination checkpoints = %d, want one per node (%d)",
 				r.Workload, st.FinalCkpts, nodes)
 		}
+		// The incremental variants' whole point: at the same interval each
+		// writes strictly fewer state bytes to stable storage than its
+		// full-image counterpart (bases are zero-run compressed, deltas carry
+		// dirty pages only).
+		for _, pair := range incrementalPairs {
+			inc, full := pair[0], pair[1]
+			ib, fb := r.Stats[inc].StateBytes, r.Stats[full].StateBytes
+			if ib == 0 || ib >= fb {
+				t.Errorf("%s: %v wrote %d state bytes, not strictly below %v's %d",
+					r.Workload, inc, ib, full, fb)
+			}
+		}
 	}
 }

@@ -68,7 +68,8 @@ func perCkptCell(r Row, v ckpt.Variant) string {
 // communication-induced columns appended.
 func WriteTable1(w io.Writer, rows []Row) {
 	t := trace.NewTable("Table 1: overhead per checkpoint (seconds)",
-		"Application", "NB", "Indep", "CIC", "NBM", "Indep_M", "CIC_M", "NBMS").Align(1, 2, 3, 4, 5, 6, 7)
+		"Application", "NB", "Indep", "CIC", "NBM", "Indep_M", "CIC_M", "NBMS",
+		"NB_INC", "Ind_INC", "CIC_INC").Align(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 	for _, r := range rows {
 		t.Rowf(r.Workload,
 			perCkptCell(r, ckpt.CoordNB),
@@ -77,7 +78,10 @@ func WriteTable1(w io.Writer, rows []Row) {
 			perCkptCell(r, ckpt.CoordNBM),
 			perCkptCell(r, ckpt.IndepM),
 			perCkptCell(r, ckpt.CICM),
-			perCkptCell(r, ckpt.CoordNBMS))
+			perCkptCell(r, ckpt.CoordNBMS),
+			perCkptCell(r, ckpt.CoordNBInc),
+			perCkptCell(r, ckpt.IndepInc),
+			perCkptCell(r, ckpt.CICInc))
 	}
 	t.Write(w)
 	nbWins, indepWins := 0, 0
@@ -119,6 +123,51 @@ func WriteTable1(w io.Writer, rows []Row) {
 		fmt.Fprintf(w, "CIC at or above Indep in %d of %d (its domino-free recovery costs forced checkpoints: %d forced vs %d basic across the column)\n",
 			cicAboveIndep, cicRows, cicForced, cicBasic)
 	}
+	writeIncrementalSummary(w, rows)
+}
+
+// incrementalPairs maps each incremental variant to its full-image
+// counterpart for the state-bytes comparison under Table 1.
+var incrementalPairs = [][2]ckpt.Variant{
+	{ckpt.CoordNBInc, ckpt.CoordNB},
+	{ckpt.IndepInc, ckpt.Indep},
+	{ckpt.CICInc, ckpt.CIC},
+}
+
+// writeIncrementalSummary reports, per incremental variant, the state bytes
+// written to stable storage relative to its full-image counterpart at the
+// same interval — the delta encoding's whole point, and the quantity the
+// shape test pins as strictly smaller.
+func writeIncrementalSummary(w io.Writer, rows []Row) {
+	measured := false
+	var line string
+	for _, pair := range incrementalPairs {
+		inc, full := pair[0], pair[1]
+		var incBytes, fullBytes int64
+		rowsWith, rowsLower := 0, 0
+		for _, r := range rows {
+			_, haveInc := r.Exec[inc]
+			_, haveFull := r.Exec[full]
+			if !haveInc || !haveFull {
+				continue
+			}
+			rowsWith++
+			incBytes += r.Stats[inc].StateBytes
+			fullBytes += r.Stats[full].StateBytes
+			if r.Stats[inc].StateBytes < r.Stats[full].StateBytes {
+				rowsLower++
+			}
+		}
+		if rowsWith == 0 || fullBytes == 0 {
+			continue
+		}
+		measured = true
+		line += fmt.Sprintf("  %v wrote %.1f%% of %v's state bytes (lower in %d of %d rows)\n",
+			inc, 100*float64(incBytes)/float64(fullBytes), full, rowsLower, rowsWith)
+	}
+	if measured {
+		fmt.Fprintf(w, "Incremental variants (full base every %d checkpoints, page deltas between):\n%s", ckpt.BaseEvery, line)
+	}
 }
 
 // adjExecCell formats AdjustedExec for schemes the row measured.
@@ -141,7 +190,8 @@ func percentCell(r Row, v ckpt.Variant) string {
 // checkpoints.
 func WriteTable2(w io.Writer, rows []Row) {
 	t := trace.NewTable("Table 2: execution times (seconds), 3 checkpoints per run (overhead normalized to 3 completed checkpoints)",
-		"Application", "Normal", "Coord_NB", "Indep", "CIC", "Coord_NBMS", "Indep_M", "CIC_M").Align(1, 2, 3, 4, 5, 6, 7)
+		"Application", "Normal", "Coord_NB", "Indep", "CIC", "Coord_NBMS", "Indep_M", "CIC_M",
+		"NB_INC", "Ind_INC", "CIC_INC").Align(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
 	for _, r := range rows {
 		t.Rowf(r.Workload,
 			fmt.Sprintf("%.2f", r.Normal.Seconds()),
@@ -150,7 +200,10 @@ func WriteTable2(w io.Writer, rows []Row) {
 			adjExecCell(r, ckpt.CIC),
 			adjExecCell(r, ckpt.CoordNBMS),
 			adjExecCell(r, ckpt.IndepM),
-			adjExecCell(r, ckpt.CICM))
+			adjExecCell(r, ckpt.CICM),
+			adjExecCell(r, ckpt.CoordNBInc),
+			adjExecCell(r, ckpt.IndepInc),
+			adjExecCell(r, ckpt.CICInc))
 	}
 	t.Write(w)
 }
@@ -160,7 +213,8 @@ func WriteTable2(w io.Writer, rows []Row) {
 // highlights (a factor of 4 up to 17).
 func WriteTable3(w io.Writer, rows []Row) {
 	t := trace.NewTable("Table 3: performance overhead of the checkpointing schemes",
-		"Application", "Interval(s)", "Coord_NB %", "Indep %", "CIC %", "Coord_NBMS %", "Indep_M %", "CIC_M %", "NB/NBMS").Align(1, 2, 3, 4, 5, 6, 7, 8)
+		"Application", "Interval(s)", "Coord_NB %", "Indep %", "CIC %", "Coord_NBMS %", "Indep_M %", "CIC_M %",
+		"NB_INC %", "Ind_INC %", "CIC_INC %", "NB/NBMS").Align(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11)
 	for _, r := range rows {
 		reduction := "-"
 		if nbms := r.Percent(ckpt.CoordNBMS); nbms > 0 {
@@ -174,6 +228,9 @@ func WriteTable3(w io.Writer, rows []Row) {
 			percentCell(r, ckpt.CoordNBMS),
 			percentCell(r, ckpt.IndepM),
 			percentCell(r, ckpt.CICM),
+			percentCell(r, ckpt.CoordNBInc),
+			percentCell(r, ckpt.IndepInc),
+			percentCell(r, ckpt.CICInc),
 			reduction)
 	}
 	t.Write(w)

@@ -68,9 +68,18 @@ func QuickWorkloads() []apps.Workload {
 
 // Table1Schemes is the paper's Table 1 column order, extended with the
 // communication-induced family (not in the paper; same blocking/main-memory
-// split as the other columns).
-var Table1Schemes = []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC, ckpt.CoordNBM, ckpt.IndepM, ckpt.CICM, ckpt.CoordNBMS}
+// split as the other columns) and each family's incremental variant (full
+// base every ckpt.BaseEvery checkpoints, page deltas between).
+var Table1Schemes = []ckpt.Variant{
+	ckpt.CoordNB, ckpt.Indep, ckpt.CIC,
+	ckpt.CoordNBM, ckpt.IndepM, ckpt.CICM, ckpt.CoordNBMS,
+	ckpt.CoordNBInc, ckpt.IndepInc, ckpt.CICInc,
+}
 
 // Table2Schemes is the paper's Table 2/3 column order, extended with the
-// communication-induced family.
-var Table2Schemes = []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC, ckpt.CoordNBMS, ckpt.IndepM, ckpt.CICM}
+// communication-induced family and the incremental variants.
+var Table2Schemes = []ckpt.Variant{
+	ckpt.CoordNB, ckpt.Indep, ckpt.CIC,
+	ckpt.CoordNBMS, ckpt.IndepM, ckpt.CICM,
+	ckpt.CoordNBInc, ckpt.IndepInc, ckpt.CICInc,
+}

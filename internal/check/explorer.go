@@ -15,11 +15,14 @@ import (
 
 // ExplorerSchemes is the full scheme matrix the explorer sweeps: every
 // variant of the three protocol families the simulator implements (the
-// paper's Table 1 columns plus the CIC family).
+// paper's Table 1 columns plus the CIC family), including each family's
+// incremental variant. The crash strata fall at arbitrary points of the run,
+// so incremental cells routinely crash between a base and its dependent
+// deltas — the chain-reassembly path recovery then exercises.
 var ExplorerSchemes = []ckpt.Variant{
-	ckpt.CoordNB, ckpt.CoordNBM, ckpt.CoordNBMS,
-	ckpt.Indep, ckpt.IndepM,
-	ckpt.CIC, ckpt.CICM,
+	ckpt.CoordNB, ckpt.CoordNBM, ckpt.CoordNBMS, ckpt.CoordNBInc,
+	ckpt.Indep, ckpt.IndepM, ckpt.IndepInc,
+	ckpt.CIC, ckpt.CICM, ckpt.CICInc,
 }
 
 // SweepConfig parameterizes one explorer sweep over the cell lattice
@@ -40,8 +43,8 @@ type SweepConfig struct {
 	FaultPlan func(seed uint64, horizon sim.Duration) *faults.Plan
 }
 
-// QuickSweep is the CI matrix: 2 workloads x 7 schemes x 4 crash strata x 4
-// seeds = 224 cells, every scheme family crashed in every quarter of its
+// QuickSweep is the CI matrix: 2 workloads x 10 schemes x 4 crash strata x 4
+// seeds = 320 cells, every scheme family crashed in every quarter of its
 // run. The workloads are deliberately small — the sweep's power comes from
 // the number of (scheme, crash point, seed) combinations, not from long
 // runs.
@@ -60,7 +63,7 @@ func QuickSweep(cfg par.Config) SweepConfig {
 
 // FullSweep is the overnight matrix: more workloads (including a larger
 // state footprint, which shifts checkpoint timing and storage contention),
-// more strata, more seeds — 3 x 7 x 6 x 8 = 1008 cells.
+// more strata, more seeds — 3 x 10 x 6 x 8 = 1440 cells.
 func FullSweep(cfg par.Config) SweepConfig {
 	return SweepConfig{
 		Cfg: cfg,
@@ -83,8 +86,9 @@ func FullSweep(cfg par.Config) SweepConfig {
 // retry client rides the outage out, and the shard.placement invariant
 // verifies no file ever lands on, or is read from, the wrong server). The
 // workload's state size differs from QuickSweep's so cell names stay unique
-// across the combined lattices. 1 app x 3 schemes x 4 strata x 2 seeds = 24
-// cells.
+// across the combined lattices. Each family runs its plain and its
+// incremental variant, so delta chains are also reassembled across a shard
+// outage. 1 app x 6 schemes x 4 strata x 2 seeds = 48 cells.
 func ShardSweep(cfg par.Config) SweepConfig {
 	cfg.StorageServers = 4
 	return SweepConfig{
@@ -92,9 +96,13 @@ func ShardSweep(cfg par.Config) SweepConfig {
 		Apps: []apps.Workload{
 			bench.RingWorkload(512, 40, 2e5),
 		},
-		Schemes: []ckpt.Variant{ckpt.CoordNB, ckpt.Indep, ckpt.CIC},
-		Points:  4,
-		Seeds:   2,
+		Schemes: []ckpt.Variant{
+			ckpt.CoordNB, ckpt.CoordNBInc,
+			ckpt.Indep, ckpt.IndepInc,
+			ckpt.CIC, ckpt.CICInc,
+		},
+		Points: 4,
+		Seeds:  2,
 		FaultPlan: func(seed uint64, horizon sim.Duration) *faults.Plan {
 			// One outage per server, 1/16 of the baseline run long, starting
 			// at staggered fractions of it — short enough that the default

@@ -69,14 +69,17 @@ type Harness struct {
 }
 
 // cut is the rank's ledger position at the instant one checkpoint was
-// captured: how many messages it had sent to and consumed from every peer.
-// Cuts live in this host-side sidecar, not in the checkpoint image, so the
-// instrumentation never changes the bytes the simulated system stores — an
-// armed oracle costs zero virtual time. A retried round overwrites its cut,
-// which is exactly right: the surviving attempt's files pair with the
-// surviving attempt's counters.
+// captured: how many messages it had sent to and consumed from every peer,
+// plus the raw snapshot bytes the capture produced (the audit's ground truth
+// for the incremental schemes' delta-chain reconstruction). Cuts live in this
+// host-side sidecar, not in the checkpoint image, so the instrumentation
+// never changes the bytes the simulated system stores — an armed oracle costs
+// zero virtual time. A retried round overwrites its cut, which is exactly
+// right: the surviving attempt's files pair with the surviving attempt's
+// counters.
 type cut struct {
 	sent, recv []int
+	snap       []byte
 }
 
 func newHarness(n int) *Harness {
@@ -123,11 +126,11 @@ func (h *Harness) reset() {
 	}
 }
 
-// recordCut stores the rank's current ledger counters as checkpoint index's
-// cut.
-func (h *Harness) recordCut(rank, index int) {
+// recordCut stores the rank's current ledger counters and the capture's raw
+// snapshot bytes as checkpoint index's cut.
+func (h *Harness) recordCut(rank, index int, snap []byte) {
 	sent, recv := h.counts(rank)
-	h.cuts[rank][index] = cut{sent: sent, recv: recv}
+	h.cuts[rank][index] = cut{sent: sent, recv: recv, snap: append([]byte(nil), snap...)}
 }
 
 // cutAt returns the ledger cut of one checkpoint. Index 0 is the initial
@@ -139,6 +142,14 @@ func (h *Harness) cutAt(rank, index int) (sent, recv []int, ok bool) {
 	}
 	c, ok := h.cuts[rank][index]
 	return c.sent, c.recv, ok
+}
+
+// snapAt returns the raw snapshot bytes recorded when checkpoint index was
+// captured — what the incremental audit compares a replayed delta chain
+// against.
+func (h *Harness) snapAt(rank, index int) ([]byte, bool) {
+	c, ok := h.cuts[rank][index]
+	return c.snap, ok
 }
 
 // truncateRank rolls one rank's rows back to the counts its restored
@@ -181,8 +192,13 @@ type wrapped struct {
 }
 
 var _ par.IndexedSnapshotter = (*wrapped)(nil)
+var _ par.Paged = (*wrapped)(nil)
 
 func (w *wrapped) Run(e *mp.Env) { w.inner.Run(e) }
+
+// StatePageSize forwards the inner program's page geometry so the incremental
+// schemes diff instrumented runs at the same granularity as plain ones.
+func (w *wrapped) StatePageSize() int { return par.StatePageSizeOf(w.inner) }
 
 // Snapshot is the plain capture path (equivalence checks, peers inspecting
 // final state); it records nothing.
@@ -195,8 +211,9 @@ func (w *wrapped) Restore(b []byte) {
 }
 
 func (w *wrapped) SnapshotAt(index int) []byte {
-	w.h.recordCut(w.rank, index)
-	return w.inner.Snapshot()
+	b := w.inner.Snapshot()
+	w.h.recordCut(w.rank, index, b)
+	return b
 }
 
 func (w *wrapped) RestoreAt(index int, b []byte) {

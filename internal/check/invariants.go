@@ -1,6 +1,7 @@
 package check
 
 import (
+	"bytes"
 	"fmt"
 	"strconv"
 	"strings"
@@ -139,15 +140,28 @@ func (a *audit) coordCommit(recs []ckpt.Record) {
 
 	// Check every rank's durable state and pick up the ledger cut its capture
 	// recorded in the sidecar; the cut defines the global state this round
-	// represents.
+	// represents. Incremental rounds store a chain-pointer envelope rather
+	// than the raw image, so their size check is against the decoded payload,
+	// and the whole base+delta chain must replay to the captured snapshot.
 	sentVec := make([][]int, a.n)
 	recvVec := make([][]int, a.n)
 	for rank, rec := range byRank {
-		data, ok := a.peekRank(rank, ckpt.CoordStatePath(round, rank))
+		data, ok := a.peekRank(rank, a.coordStatePath(round, rank))
 		if !a.assert(ok, "coord.state-durable", "round %d rank %d: state file missing", round, rank) {
 			return
 		}
-		if !a.assert(len(data) == rec.StateBytes, "coord.state-durable",
+		if a.v.Incremental() {
+			idx, prev, _, payload, _, err := ckpt.DecodeIncCkpt(data)
+			if a.assert(err == nil, "coord.state-durable", "round %d rank %d: undecodable: %v", round, rank, err) {
+				a.assert(idx == round, "coord.state-durable",
+					"round %d rank %d: slot file holds round %d", round, rank, idx)
+				a.assert(prev == rec.Prev, "coord.state-durable",
+					"round %d rank %d: durable chain pointer %d, record says %d", round, rank, prev, rec.Prev)
+				a.assert(len(payload) == rec.StateBytes, "coord.state-durable",
+					"round %d rank %d: payload is %d bytes, record says %d", round, rank, len(payload), rec.StateBytes)
+				a.checkChain(rank, round)
+			}
+		} else if !a.assert(len(data) == rec.StateBytes, "coord.state-durable",
 			"round %d rank %d: state is %d bytes, record says %d", round, rank, len(data), rec.StateBytes) {
 			return
 		}
@@ -163,7 +177,7 @@ func (a *audit) coordCommit(recs []ckpt.Record) {
 	logged := make([][][]msgCopy, a.n)
 	for rank, rec := range byRank {
 		logged[rank] = make([][]msgCopy, a.n)
-		data, ok := a.peekRank(rank, ckpt.CoordChanPath(round, rank))
+		data, ok := a.peekRank(rank, a.coordChanPath(round, rank))
 		if rec.ChanBytes == 0 {
 			a.assert(!ok, "coord.chan-durable", "round %d rank %d: empty channel but a durable log of %d bytes", round, rank, len(data))
 			continue
@@ -225,7 +239,7 @@ func (a *audit) indepCommit(rec ckpt.Record) {
 	path := a.ckptPath(rec.Rank, rec.Index)
 	data, ok := a.peekRank(rec.Rank, path)
 	if a.assert(ok, "indep.durable", "rank %d ckpt %d committed but %s not durable", rec.Rank, rec.Index, path) {
-		idx, deps, state, _, err := a.decodeCkpt(data)
+		idx, deps, state, err := a.decodeCkptEnvelope(data, rec)
 		if a.assert(err == nil, "indep.durable", "rank %d ckpt %d: undecodable: %v", rec.Rank, rec.Index, err) {
 			a.assert(idx == rec.Index, "indep.durable",
 				"rank %d: file %s holds index %d, record says %d", rec.Rank, path, idx, rec.Index)
@@ -236,6 +250,9 @@ func (a *audit) indepCommit(rec ckpt.Record) {
 			_, _, cutOK := a.h.cutAt(rec.Rank, rec.Index)
 			a.assert(cutOK, "indep.durable",
 				"rank %d ckpt %d: no ledger cut recorded at capture", rec.Rank, rec.Index)
+			if a.v.Incremental() {
+				a.checkChain(rec.Rank, rec.Index)
+			}
 		}
 	}
 
@@ -255,6 +272,83 @@ func (a *audit) indepCommit(rec ckpt.Record) {
 		}
 	}
 	a.lastLine = line
+}
+
+// decodeCkptEnvelope unpacks a durable uncoordinated checkpoint file into the
+// (index, deps, payload) triple the record audit compares, dispatching on the
+// envelope format. For incremental files it also checks the durable chain
+// pointer against the committed record.
+func (a *audit) decodeCkptEnvelope(data []byte, rec ckpt.Record) (int, []ckpt.Dep, []byte, error) {
+	if a.v.Incremental() {
+		idx, prev, deps, payload, _, err := ckpt.DecodeIncCkpt(data)
+		if err == nil {
+			a.assert(prev == rec.Prev, "inc.chain-pointer",
+				"rank %d ckpt %d: durable chain pointer %d, record says %d", rec.Rank, rec.Index, prev, rec.Prev)
+		}
+		return idx, deps, payload, err
+	}
+	idx, deps, state, _, err := a.decodeCkpt(data)
+	return idx, deps, state, err
+}
+
+// incPath names the durable file of one incremental checkpoint, across all
+// three families.
+func (a *audit) incPath(rank, index int) string {
+	if a.v.Coordinated() {
+		return ckpt.CoordIncStatePath(index, rank)
+	}
+	return a.ckptPath(rank, index)
+}
+
+// checkChain is the incremental schemes' delta-chain invariant: the committed
+// checkpoint's Prev chain must resolve through durable files back to a
+// committed base, and replaying it must reproduce exactly the padded image
+// captured at that index. A violation names the chain link that broke — the
+// delta round a failure report points at.
+func (a *audit) checkChain(rank, index int) {
+	img, err := ckpt.ReconstructState(func(idx int) ([]byte, int, error) {
+		data, ok := a.peekRank(rank, a.incPath(rank, idx))
+		if !ok {
+			return nil, 0, fmt.Errorf("file %s not durable", a.incPath(rank, idx))
+		}
+		gotIdx, prev, _, payload, _, err := ckpt.DecodeIncCkpt(data)
+		if err != nil {
+			return nil, 0, err
+		}
+		if gotIdx != idx {
+			return nil, 0, fmt.Errorf("file holds index %d, want %d", gotIdx, idx)
+		}
+		return payload, prev, nil
+	}, index)
+	if !a.assert(err == nil, "inc.chain-resolves", "rank %d: %v", rank, err) {
+		return
+	}
+	snap, ok := a.h.snapAt(rank, index)
+	if !a.assert(ok, "inc.chain-equals-snapshot",
+		"rank %d ckpt %d: no sidecar snapshot recorded at capture", rank, index) {
+		return
+	}
+	want := ckpt.PadImage(snap, a.m.Cfg.CkptImageBytes)
+	a.assert(bytes.Equal(img, want), "inc.chain-equals-snapshot",
+		"rank %d ckpt %d: replayed chain (%d bytes) differs from the captured snapshot (%d bytes)",
+		rank, index, len(img), len(want))
+}
+
+// coordStatePath and coordChanPath pick the durable layout of the coordinated
+// family in use: the incremental variant rotates over BaseEvery+1 slots under
+// its own root.
+func (a *audit) coordStatePath(round, rank int) string {
+	if a.v.Incremental() {
+		return ckpt.CoordIncStatePath(round, rank)
+	}
+	return ckpt.CoordStatePath(round, rank)
+}
+
+func (a *audit) coordChanPath(round, rank int) string {
+	if a.v.Incremental() {
+		return ckpt.CoordIncChanPath(round, rank)
+	}
+	return ckpt.CoordChanPath(round, rank)
 }
 
 // onRecovery rebases the audit on the recovery line the driver restored:
@@ -320,10 +414,12 @@ func (a *audit) finishCoordinated() {
 	}
 
 	// The committed round's slot must hold exactly that round's files. (The
-	// other slot legally carries the previous round or a tentative next
-	// round — 2PC's abort path may leave it either way; recovery never reads
-	// it because the commit record is authoritative.)
-	slotPrefix := slotOf(ckpt.CoordStatePath(round, 0))
+	// other slots legally carry other rounds — for the full-image variants the
+	// previous round or a tentative next round; for the incremental variant
+	// the committed round's chain members and possibly a tentative round —
+	// recovery never trusts them blindly because the commit record is
+	// authoritative and the chain walk validates every link's index.)
+	slotPrefix := slotOf(a.coordStatePath(round, 0))
 	want := map[string]int{ckpt.CoordMetaPath(): -1}
 	wantShard := map[string]int{ckpt.CoordMetaPath(): a.m.ShardOf(0)}
 	if phantom {
@@ -331,33 +427,49 @@ func (a *audit) finishCoordinated() {
 		// whose captures left cuts in the sidecar, and accept whatever channel
 		// logs the round wrote.
 		for rank := 0; rank < a.n; rank++ {
-			want[ckpt.CoordStatePath(round, rank)] = -1
-			_, ok := a.peekRank(rank, ckpt.CoordStatePath(round, rank))
+			want[a.coordStatePath(round, rank)] = -1
+			_, ok := a.peekRank(rank, a.coordStatePath(round, rank))
 			if a.assert(ok, "coord.exact", "commit record names round %d but rank %d's state is missing", round, rank) {
 				_, _, cutOK := a.h.cutAt(rank, round)
 				a.assert(cutOK, "coord.exact", "round %d rank %d: no ledger cut recorded at capture", round, rank)
 			}
-			want[ckpt.CoordChanPath(round, rank)] = -1
-			wantShard[ckpt.CoordStatePath(round, rank)] = a.m.ShardOf(rank)
-			wantShard[ckpt.CoordChanPath(round, rank)] = a.m.ShardOf(rank)
+			want[a.coordChanPath(round, rank)] = -1
+			wantShard[a.coordStatePath(round, rank)] = a.m.ShardOf(rank)
+			wantShard[a.coordChanPath(round, rank)] = a.m.ShardOf(rank)
 		}
 	} else {
 		for _, r := range a.committed {
 			if r.Index != round {
 				continue
 			}
-			want[ckpt.CoordStatePath(round, r.Rank)] = r.StateBytes
-			wantShard[ckpt.CoordStatePath(round, r.Rank)] = a.m.ShardOf(r.Rank)
+			sp := a.coordStatePath(round, r.Rank)
+			if a.v.Incremental() {
+				// The durable file is a chain envelope: its raw size is not
+				// the recorded payload size, so audit it by decoding instead.
+				want[sp] = -1
+				if data, ok := a.peekRank(r.Rank, sp); a.assert(ok, "coord.exact",
+					"committed file %s missing from durable storage", sp) {
+					idx, prev, _, payload, _, err := ckpt.DecodeIncCkpt(data)
+					if a.assert(err == nil, "coord.exact", "%s undecodable: %v", sp, err) {
+						a.assert(idx == round && prev == r.Prev && len(payload) == r.StateBytes, "coord.exact",
+							"%s holds round %d prev %d payload %d bytes, record says %d/%d/%d",
+							sp, idx, prev, len(payload), round, r.Prev, r.StateBytes)
+					}
+				}
+			} else {
+				want[sp] = r.StateBytes
+			}
+			wantShard[sp] = a.m.ShardOf(r.Rank)
 			if r.ChanBytes > 0 {
-				want[ckpt.CoordChanPath(round, r.Rank)] = r.ChanBytes
-				wantShard[ckpt.CoordChanPath(round, r.Rank)] = a.m.ShardOf(r.Rank)
+				want[a.coordChanPath(round, r.Rank)] = r.ChanBytes
+				wantShard[a.coordChanPath(round, r.Rank)] = a.m.ShardOf(r.Rank)
 			}
 		}
 	}
 	for si, st := range a.m.Stores {
 		for _, path := range st.DurablePaths() {
 			inSlot := strings.HasPrefix(path, slotPrefix)
-			if !strings.HasPrefix(path, "coord/") || (!inSlot && path != ckpt.CoordMetaPath()) {
+			if !inSlot && path != ckpt.CoordMetaPath() {
 				continue
 			}
 			size, listed := want[path]

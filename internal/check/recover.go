@@ -103,11 +103,39 @@ func (o *Oracle) recoverUncoordinated(m *par.Machine, v ckpt.Variant, opt ckpt.O
 				}
 			}
 		}
-		// 2. Read the line checkpoints back from stable storage.
+		// 2. Read the line checkpoints back from stable storage. Incremental
+		// checkpoints are base+delta chains; every chain pointer names a
+		// strictly smaller index, so the whole chain sits at or below the line
+		// and step 1's reclamation can never have deleted a link of it.
 		states := make([][]byte, n)
 		libs := make([][]byte, n)
 		for rank := 0; rank < n; rank++ {
 			if line[rank] == 0 {
+				continue
+			}
+			if v.Incremental() {
+				var lib []byte
+				img, err := ckpt.ReconstructState(func(idx int) ([]byte, int, error) {
+					reply := m.Nodes[rank].StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: a.ckptPath(rank, idx)})
+					if reply.Err != nil {
+						return nil, 0, reply.Err
+					}
+					gotIdx, prev, _, payload, l, err := ckpt.DecodeIncCkpt(reply.Data)
+					if err != nil {
+						return nil, 0, err
+					}
+					if gotIdx != idx {
+						return nil, 0, fmt.Errorf("file holds index %d, want %d", gotIdx, idx)
+					}
+					if idx == line[rank] {
+						lib = l
+					}
+					return payload, prev, nil
+				}, line[rank])
+				if err != nil {
+					panic(fmt.Sprintf("check: recovery: rank %d: %v", rank, err))
+				}
+				states[rank], libs[rank] = img, lib
 				continue
 			}
 			reply := m.Nodes[rank].StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: a.ckptPath(rank, line[rank])})

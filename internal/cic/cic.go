@@ -41,6 +41,7 @@ import (
 func init() {
 	ckpt.Register(ckpt.CIC, New)
 	ckpt.Register(ckpt.CICM, New)
+	ckpt.Register(ckpt.CICInc, New)
 }
 
 // New constructs a communication-induced scheme for ckpt.CIC or ckpt.CICM.
@@ -140,10 +141,10 @@ func (s *scheme) onAppExit(nodeID int) {
 	cn := s.nodes[nodeID]
 	cn.index++
 	k := cn.index
-	deps, state, lib := cn.capture()
+	deps, state, lib, prev, img := cn.capture()
 	s.stats.FinalCkpts++
 	s.m.Obs.Add(nodeID, "cic.final_ckpts", 1)
-	cn.jobs.Put(cn.writeJob(k, kindFinal, deps, state, lib, nil))
+	cn.jobs.Put(cn.writeJob(k, kindFinal, deps, state, lib, nil, prev, img))
 }
 
 // cicNode is one node's checkpointer.
@@ -155,6 +156,12 @@ type cicNode struct {
 	taken int // basic checkpoints taken, for the MaxCheckpoints cap
 	deps  map[ckpt.Dep]struct{}
 	busy  bool // a basic checkpoint is pending or being written
+
+	// inc is the base+delta encoder state (CIC_INC only), created at the
+	// first capture. CIC_INC blocks for every write, so captures and writes
+	// are strictly sequential and the retained image always matches the last
+	// durable checkpoint.
+	inc *ckpt.IncCapture
 
 	jobs *sim.Mailbox[func(p *sim.Proc)]
 }
@@ -194,11 +201,11 @@ func (cn *cicNode) preConsume(p *sim.Proc, src int, meta par.Piggyback) {
 	s := cn.s
 	start := p.Now()
 	cn.index = midx
-	deps, state, lib := cn.capture()
+	deps, state, lib, prev, img := cn.capture()
 	fsp := s.m.Obs.Start(cn.n.ID, obs.TidApp, "cic.forced").WithArg("index", int64(midx))
 	s.m.Obs.Add(cn.n.ID, "cic.forced_ckpts", 1)
 	s.stats.ForcedCkpts++
-	cn.saveBlocking(p, midx, kindForced, deps, state, lib)
+	cn.saveBlocking(p, midx, kindForced, deps, state, lib, prev, img)
 	fsp.End()
 	s.m.Obs.ObserveDur(cn.n.ID, "cic.forced_latency", p.Now().Sub(start))
 	s.m.Obs.ObserveDur(cn.n.ID, "ckpt.blocked_time", p.Now().Sub(start))
@@ -244,10 +251,10 @@ func (a basicAction) Run(p *sim.Proc, n *par.Node) {
 	cn.index++
 	cn.taken++
 	k := cn.index
-	deps, state, lib := cn.capture()
+	deps, state, lib, prev, img := cn.capture()
 	bsp := s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.blocked").WithArg("index", int64(k))
 	s.m.Obs.Add(n.ID, "cic.basic_ckpts", 1)
-	cn.saveBlocking(p, k, kindBasic, deps, state, lib)
+	cn.saveBlocking(p, k, kindBasic, deps, state, lib, prev, img)
 	bsp.End()
 	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
 	s.stats.AppBlocked += p.Now().Sub(start)
@@ -257,7 +264,7 @@ func (a basicAction) Run(p *sim.Proc, n *par.Node) {
 // detached (sorted for determinism), and the application and library states
 // are serialized. Runs in the application's context, like every state
 // capture in the library.
-func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte) {
+func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte, prev int, img []byte) {
 	deps = make([]ckpt.Dep, 0, len(cn.deps))
 	for d := range cn.deps {
 		deps = append(deps, d)
@@ -270,16 +277,23 @@ func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte) {
 	})
 	cn.deps = make(map[ckpt.Dep]struct{})
 	state = ckpt.PadImage(par.SnapshotAt(cn.n.Snap, cn.index), cn.n.M.Cfg.CkptImageBytes)
+	if cn.s.v.Incremental() {
+		if cn.inc == nil {
+			cn.inc = ckpt.NewIncCapture(par.StatePageSizeOf(cn.n.Snap))
+		}
+		img = state
+		state, prev = cn.inc.Encode(img)
+	}
 	if cn.n.Lib != nil {
 		lib = cn.n.Lib.Snapshot()
 	}
-	return deps, state, lib
+	return deps, state, lib, prev, img
 }
 
 // saveBlocking performs the variant-dependent blocking part of a checkpoint
 // in the application's context: CIC_M copies the state in memory and writes
 // in the background; CIC parks the application until the write is durable.
-func (cn *cicNode) saveBlocking(p *sim.Proc, k, kind int, deps []ckpt.Dep, state, lib []byte) {
+func (cn *cicNode) saveBlocking(p *sim.Proc, k, kind int, deps []ckpt.Dep, state, lib []byte, prev int, img []byte) {
 	s := cn.s
 	if s.v.MemBuffered() {
 		d := cn.n.M.MemCopyTime(len(state))
@@ -287,11 +301,11 @@ func (cn *cicNode) saveBlocking(p *sim.Proc, k, kind int, deps []ckpt.Dep, state
 		p.Sleep(d)
 		msp.End()
 		s.stats.MemCopyTime += d
-		cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, nil))
+		cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, nil, prev, img))
 		return
 	}
 	gate := sim.NewGate(cn.n.M.Eng)
-	cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, gate))
+	cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, gate, prev, img))
 	gate.Wait(p)
 }
 
@@ -314,10 +328,15 @@ const (
 // for the duration of the outage — the index already jumped, but no durable
 // checkpoint backs it — which is the standard CIC degradation under storage
 // failure; the skip counter surfaces how often it happened.
-func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gate *sim.Gate) func(p *sim.Proc) {
+func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gate *sim.Gate, prev int, img []byte) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		s := cn.s
-		data := encodeCkpt(k, deps, state, lib)
+		var data []byte
+		if s.v.Incremental() {
+			data = ckpt.EncodeIncCkpt(k, prev, deps, state, lib)
+		} else {
+			data = encodeCkpt(k, deps, state, lib)
+		}
 		wsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("index", int64(k))
 		err := ckpt.WriteSegmentedChecked(p, cn.n, cicPath(cn.n.ID, k), data, false)
 		wsp.End()
@@ -351,9 +370,14 @@ func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gat
 		}
 		rec := ckpt.Record{
 			Rank: cn.n.ID, Index: k, At: p.Now(),
-			StateBytes: len(state), Deps: deps,
+			StateBytes: len(state), Deps: deps, Prev: prev,
 		}
 		s.records = append(s.records, rec)
+		if s.v.Incremental() {
+			// Only now — with the file durable — does img become the diff
+			// baseline; a skipped checkpoint re-diffs against the old one.
+			cn.inc.Commit(k, img, prev)
+		}
 		if s.commitHook != nil {
 			s.commitHook([]ckpt.Record{rec})
 		}

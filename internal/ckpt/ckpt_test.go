@@ -2,6 +2,7 @@ package ckpt
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/codec"
@@ -422,6 +423,9 @@ func TestVariantStringAndPredicates(t *testing.T) {
 		{IndepLog, "Indep_Log", false, false},
 		{CIC, "CIC", false, false},
 		{CICM, "CIC_M", false, true},
+		{CoordNBInc, "Coord_NB_INC", true, false},
+		{IndepInc, "Indep_INC", false, false},
+		{CICInc, "CIC_INC", false, false},
 	}
 	for _, c := range cases {
 		if c.v.String() != c.name {
@@ -429,6 +433,9 @@ func TestVariantStringAndPredicates(t *testing.T) {
 		}
 		if c.v.Coordinated() != c.coord || c.v.MemBuffered() != c.mem {
 			t.Errorf("%v predicates wrong", c.v)
+		}
+		if inc := c.v.Incremental(); inc != strings.HasSuffix(c.name, "_INC") {
+			t.Errorf("%v Incremental() = %v", c.v, inc)
 		}
 	}
 	// String and ParseVariant are derived from one table; every name must

@@ -201,6 +201,23 @@ func (s *coordinated) proto(n int) {
 	s.stats.ProtoBytes += int64(n * sizeCtl)
 }
 
+// statePath and chanPath pick the variant's slot layout: the full-image
+// schemes double-buffer two slots, the incremental scheme rotates over
+// BaseEvery+1 so a committed round's whole delta chain stays on storage.
+func (s *coordinated) statePath(round, rank int) string {
+	if s.v.Incremental() {
+		return coordIncStatePath(round, rank)
+	}
+	return coordStatePath(round, rank)
+}
+
+func (s *coordinated) chanPath(round, rank int) string {
+	if s.v.Incremental() {
+		return coordIncChanPath(round, rank)
+	}
+	return coordChanPath(round, rank)
+}
+
 // onAck runs at the coordinator when a node's ack arrives.
 func (s *coordinated) onAck(ackRound, ackAttempt, from int) {
 	if ackRound != s.round || ackAttempt != s.attempt || s.acks[from] {
@@ -276,6 +293,14 @@ type coordNode struct {
 
 	appGate   *sim.Gate // blocks the application in B and NB
 	tokenGate *sim.Gate // staggering token (NBMS)
+
+	// Incremental (CoordNBInc) capture state. pendingImg is the padded image
+	// of the in-flight round, promoted to the diff baseline only at commit:
+	// an aborted attempt discards it, so the retry — and every later delta —
+	// diffs against the last round that actually committed.
+	inc         *IncCapture
+	pendingImg  []byte
+	pendingPrev int
 
 	syncSpan obs.Span // "ckpt.sync": round begin until the local safe point
 
@@ -386,6 +411,10 @@ func (cn *coordNode) hookAppMsg(env *fabric.Envelope, msg *mp.Message) bool {
 // finishRound concludes the node's participation in the active round, on
 // the commit message or on evidence that the commit happened.
 func (cn *coordNode) finishRound() {
+	if cn.s.v.Incremental() && cn.pendingImg != nil {
+		cn.inc.Commit(cn.round, cn.pendingImg, cn.pendingPrev)
+		cn.pendingImg = nil
+	}
 	cn.round = 0
 	if cn.s.v == CoordB && cn.appGate != nil {
 		cn.appGate.Open()
@@ -410,6 +439,7 @@ func (cn *coordNode) abortLocal() {
 	cn.quarantine = nil
 	cn.chanLog = nil
 	cn.stateBuf = nil
+	cn.pendingImg = nil // the retry re-diffs against the last committed image
 	cn.round = 0
 	if cn.appGate != nil {
 		cn.appGate.Open()
@@ -494,6 +524,18 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 		blockedSpan = s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.blocked").WithArg("round", int64(round))
 	}
 	state := padImage(par.SnapshotAt(n.Snap, round), n.M.Cfg.CkptImageBytes)
+	stateBytes, prev := len(state), 0
+	if s.v.Incremental() {
+		if cn.inc == nil {
+			cn.inc = NewIncCapture(par.StatePageSizeOf(n.Snap))
+		}
+		img := state
+		var payload []byte
+		payload, prev = cn.inc.Encode(img)
+		cn.pendingImg, cn.pendingPrev = img, prev
+		state = encodeIncCkpt(round, prev, nil, payload, nil)
+		stateBytes = len(payload)
+	}
 	if s.v.MemBuffered() && p != nil {
 		// Main-memory checkpointing: the application pays only for the copy.
 		d := n.M.MemCopyTime(len(state))
@@ -532,13 +574,13 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 		n.Send(p, fabric.NodeID(dst), par.PortDaemon, msgMarker{Round: round, Attempt: attempt, From: n.ID}, sizeCtl)
 	}
 	cn.maybeFinishLogging()
-	cn.jobs.Put(cn.writeStateJob(round, attempt, state, cn.tokenGate, cn.appGate))
+	cn.jobs.Put(cn.writeStateJob(round, attempt, state, stateBytes, prev, cn.tokenGate, cn.appGate))
 	if p == nil {
 		return
 	}
 	switch s.v {
-	case CoordB, CoordNB:
-		cn.appGate.Wait(p) // opened on write completion (NB) or commit (B)
+	case CoordB, CoordNB, CoordNBInc:
+		cn.appGate.Wait(p) // opened on write completion (NB/NB_INC) or commit (B)
 	}
 	blockedSpan.End()
 	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
@@ -551,7 +593,7 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 // old ones so a parked job unblocks, notices the attempt changed, and falls
 // through. A write failure that survives the retry budget nacks the
 // coordinator, which aborts the round.
-func (cn *coordNode) writeStateJob(round, attempt int, state []byte, tokenGate, appGate *sim.Gate) func(p *sim.Proc) {
+func (cn *coordNode) writeStateJob(round, attempt int, state []byte, stateBytes, prev int, tokenGate, appGate *sim.Gate) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		s := cn.s
 		if s.v == CoordNBMS {
@@ -563,7 +605,7 @@ func (cn *coordNode) writeStateJob(round, attempt int, state []byte, tokenGate, 
 			return // aborted while queued or waiting for the token
 		}
 		wsp := s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("round", int64(round))
-		err := writeSegmentedChecked(p, cn.n, coordStatePath(round, cn.n.ID), state, true)
+		err := writeSegmentedChecked(p, cn.n, s.statePath(round, cn.n.ID), state, true)
 		wsp.End()
 		if err != nil {
 			if cn.round == round && cn.attempt == attempt {
@@ -576,17 +618,17 @@ func (cn *coordNode) writeStateJob(round, attempt int, state []byte, tokenGate, 
 		if cn.round != round || cn.attempt != attempt {
 			return // aborted during the write; the retry rewrites the slot
 		}
-		s.m.Obs.Add(cn.n.ID, "ckpt.state_bytes", int64(len(state)))
-		s.stats.StateBytes += int64(len(state))
+		s.m.Obs.Add(cn.n.ID, "ckpt.state_bytes", int64(stateBytes))
+		s.stats.StateBytes += int64(stateBytes)
 		// The channel-log write may have completed first (its job is queued
 		// before this one when every marker beat the snapshot): carry the
 		// size it stashed, so the record is right in either completion order.
 		s.pending = append(s.pending, Record{
-			Rank: cn.n.ID, Index: round, At: p.Now(), StateBytes: len(state),
-			ChanBytes: cn.chanBytes,
+			Rank: cn.n.ID, Index: round, At: p.Now(), StateBytes: stateBytes,
+			ChanBytes: cn.chanBytes, Prev: prev,
 		})
 		cn.stateWritten = true
-		if s.v == CoordNB {
+		if s.v == CoordNB || s.v == CoordNBInc {
 			appGate.Open()
 		}
 		if s.v == CoordNBMS {
@@ -617,7 +659,7 @@ func (cn *coordNode) maybeFinishLogging() {
 			if cn.round != round || cn.attempt != attempt {
 				return
 			}
-			reply := cn.n.StorageCallRetry(p, storage.Request{Op: storage.OpDelete, Path: coordChanPath(round, cn.n.ID)})
+			reply := cn.n.StorageCallRetry(p, storage.Request{Op: storage.OpDelete, Path: cn.s.chanPath(round, cn.n.ID)})
 			if cn.round != round || cn.attempt != attempt {
 				return
 			}
@@ -640,7 +682,7 @@ func (cn *coordNode) maybeFinishLogging() {
 		data := encodeChanLog(logCopy)
 		wsp := cn.s.m.Obs.Start(cn.n.ID, obs.TidDaemon, "ckpt.chan_write").WithArg("round", int64(round))
 		reply := cn.n.StorageCallRetry(p, storage.Request{
-			Op: storage.OpWrite, Path: coordChanPath(round, cn.n.ID),
+			Op: storage.OpWrite, Path: cn.s.chanPath(round, cn.n.ID),
 			Data: data, Durable: true,
 		})
 		wsp.End()

@@ -1,0 +1,155 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"repro/internal/codec"
+	"repro/internal/par"
+)
+
+// BaseEvery is the incremental variants' chain length K: every K-th
+// checkpoint of a node is a full base image, the K-1 between are page
+// deltas. Recovery never assumes the cadence — it follows each file's Prev
+// pointer — but the cadence bounds every chain to K files.
+const BaseEvery = 4
+
+// Coordinated incremental rounds rotate over BaseEvery+1 file slots (the
+// full-image schemes use 2). The widened rotation is what makes overwriting
+// safe without garbage collection: the chain of the latest committed round r
+// reaches back at most to round r-(BaseEvery-1), while writing round r+1
+// overwrites the slot of round r-BaseEvery — strictly below any chain member
+// a recovery could need, even while the tentative round is in flight.
+func coordIncStatePath(round, rank int) string {
+	return fmt.Sprintf("coordinc/slot%d/s%03d", round%(BaseEvery+1), rank)
+}
+func coordIncChanPath(round, rank int) string {
+	return fmt.Sprintf("coordinc/slot%d/c%03d", round%(BaseEvery+1), rank)
+}
+
+// CoordIncStatePath and CoordIncChanPath expose the incremental coordinated
+// scheme's durable layout to the correctness oracle and recovery drivers.
+func CoordIncStatePath(round, rank int) string { return coordIncStatePath(round, rank) }
+func CoordIncChanPath(round, rank int) string  { return coordIncChanPath(round, rank) }
+
+// encodeIncCkpt packs an incremental checkpoint file: the chain pointer and
+// the base/delta payload take the place of the full state image; dependency
+// metadata and the message-layer state ride along exactly as in
+// encodeIndepCkpt (coordinated rounds leave both empty).
+func encodeIncCkpt(index, prev int, deps []Dep, payload, lib []byte) []byte {
+	w := codec.NewWriter()
+	w.Int(index)
+	w.Int(prev)
+	w.Int(len(deps))
+	for _, d := range deps {
+		w.Int(d.SrcRank)
+		w.U64(d.SrcIndex)
+	}
+	w.Bytes8(payload)
+	w.Bytes8(lib)
+	return w.Bytes()
+}
+
+// decodeIncCkpt unpacks an incremental checkpoint file.
+func decodeIncCkpt(b []byte) (index, prev int, deps []Dep, payload, lib []byte, err error) {
+	r := codec.NewReader(b)
+	index = r.Int()
+	prev = r.Int()
+	n := r.Int()
+	if r.Err() != nil || n < 0 {
+		return 0, 0, nil, nil, nil, fmt.Errorf("ckpt: corrupt incremental checkpoint header")
+	}
+	deps = make([]Dep, 0, n)
+	for i := 0; i < n; i++ {
+		deps = append(deps, Dep{SrcRank: r.Int(), SrcIndex: r.U64()})
+	}
+	payload = r.Bytes8()
+	lib = r.Bytes8()
+	if r.Err() != nil {
+		return 0, 0, nil, nil, nil, fmt.Errorf("ckpt: corrupt incremental checkpoint: %v", r.Err())
+	}
+	return index, prev, deps, payload, lib, nil
+}
+
+// EncodeIncCkpt and DecodeIncCkpt expose the incremental checkpoint file
+// format to protocol families implemented outside this package (package cic)
+// and to the correctness oracle (package check).
+func EncodeIncCkpt(index, prev int, deps []Dep, payload, lib []byte) []byte {
+	return encodeIncCkpt(index, prev, deps, payload, lib)
+}
+func DecodeIncCkpt(b []byte) (index, prev int, deps []Dep, payload, lib []byte, err error) {
+	return decodeIncCkpt(b)
+}
+
+// IncCapture is the per-node encoder state an incremental scheme carries: a
+// dirty tracker retaining the last durable image and the chain bookkeeping
+// that decides when the next checkpoint must be a base. Schemes call Encode
+// when capturing, then Commit only once the file is durable (for coordinated
+// rounds: committed) — a skipped or aborted checkpoint leaves the capture
+// untouched, so the next Encode re-diffs against the last checkpoint that
+// actually exists and Prev pointers always name durable checkpoints.
+type IncCapture struct {
+	tracker   *par.DirtyTracker
+	prevIndex int
+	sinceBase int
+}
+
+// NewIncCapture returns a capture diffing at the given page size (a node's
+// par.StatePageSizeOf). The capture starts unprimed, so the first checkpoint
+// of an incarnation — including the first after a recovery — is a base.
+func NewIncCapture(pageSize int) *IncCapture {
+	return &IncCapture{tracker: par.NewDirtyTracker(pageSize)}
+}
+
+// Encode returns the payload for a checkpoint of img and its chain pointer:
+// a zero-run-compressed base (prev 0) at the start of each chain, a page
+// delta against the previous durable image otherwise.
+func (ic *IncCapture) Encode(img []byte) (payload []byte, prev int) {
+	if ic.tracker.Primed() && ic.sinceBase < BaseEvery-1 {
+		return ic.tracker.Delta(img), ic.prevIndex
+	}
+	return codec.EncodeBaseImage(img), 0
+}
+
+// Commit records that the checkpoint of img at index, encoded with chain
+// pointer prev, became durable: img is the new diff baseline.
+func (ic *IncCapture) Commit(index int, img []byte, prev int) {
+	ic.tracker.Retain(img)
+	if prev == 0 {
+		ic.sinceBase = 0
+	} else {
+		ic.sinceBase++
+	}
+	ic.prevIndex = index
+}
+
+// ReconstructState replays the base+delta chain ending at index: read
+// resolves an index to its durable payload and chain pointer (decoding the
+// file's envelope), and the returned image is the full checkpoint state.
+// Errors name the chain link that failed to resolve — the delta round a
+// broken chain points at.
+func ReconstructState(read func(index int) (payload []byte, prev int, err error), index int) ([]byte, error) {
+	var chain [][]byte
+	for idx := index; ; {
+		payload, prev, err := read(idx)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: delta chain for checkpoint %d broken at link %d: %w", index, idx, err)
+		}
+		chain = append(chain, payload)
+		if prev == 0 {
+			break
+		}
+		if prev >= idx || len(chain) >= BaseEvery {
+			return nil, fmt.Errorf("ckpt: delta chain for checkpoint %d malformed at link %d (prev %d, length %d)",
+				index, idx, prev, len(chain))
+		}
+		idx = prev
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	img, err := codec.ReconstructImage(chain)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: replaying delta chain for checkpoint %d: %w", index, err)
+	}
+	return img, nil
+}

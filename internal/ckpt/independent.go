@@ -120,6 +120,11 @@ type indepNode struct {
 	deps  map[Dep]struct{}
 	busy  bool // a checkpoint is in progress (snapshot through durable write)
 
+	// inc is the base+delta encoder state (IndepInc only), created at the
+	// first capture once the app's snapshotter — and so its page size — is
+	// bound. A fresh node starts unprimed: its first checkpoint is a base.
+	inc *IncCapture
+
 	// Sender-based message log (IndepLog): outgoing messages kept in
 	// volatile memory until the receiver's next checkpoint truncates them.
 	log          []logEntry
@@ -229,7 +234,17 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 	in.index++
 	in.taken++
 	k := in.index
-	state := padImage(par.SnapshotAt(n.Snap, k), n.M.Cfg.CkptImageBytes)
+	img := padImage(par.SnapshotAt(n.Snap, k), n.M.Cfg.CkptImageBytes)
+	state := img
+	var prev int
+	if s.v.Incremental() {
+		if in.inc == nil {
+			in.inc = NewIncCapture(par.StatePageSizeOf(n.Snap))
+		}
+		state, prev = in.inc.Encode(img)
+	} else {
+		img = nil // full-image write; nothing to retain for diffing
+	}
 	var lib []byte
 	var consumed []uint64
 	if n.Lib != nil {
@@ -250,12 +265,12 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 		blockedSpan.End()
 		s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
 		s.stats.AppBlocked += p.Now().Sub(start)
-		in.jobs.Put(in.writeJob(k, closedDeps, state, lib, nil))
+		in.jobs.Put(in.writeJob(k, closedDeps, state, lib, nil, prev, img))
 		return
 	}
 	// Blocking variant: the application waits for the durable write.
 	gate := sim.NewGate(n.M.Eng)
-	in.jobs.Put(in.writeJob(k, closedDeps, state, lib, gate))
+	in.jobs.Put(in.writeJob(k, closedDeps, state, lib, gate, prev, img))
 	gate.Wait(p)
 	blockedSpan.End()
 	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
@@ -271,10 +286,15 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 // checkpoint (conservative — the recovery-line search sees a superset of the
 // true edges), the index stays advanced (a sparse index sequence is legal),
 // and the timer re-arms so the node tries again next period.
-func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Gate) func(p *sim.Proc) {
+func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Gate, prev int, img []byte) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
 		s := in.s
-		data := encodeIndepCkpt(k, deps, state, lib)
+		var data []byte
+		if s.v.Incremental() {
+			data = encodeIncCkpt(k, prev, deps, state, lib)
+		} else {
+			data = encodeIndepCkpt(k, deps, state, lib)
+		}
 		wsp := s.m.Obs.Start(in.n.ID, obs.TidDaemon, "ckpt.disk_write").WithArg("index", int64(k))
 		err := writeSegmentedChecked(p, in.n, indepPath(in.n.ID, k), data, false)
 		wsp.End()
@@ -300,9 +320,14 @@ func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Ga
 		s.stats.Checkpoints++
 		rec := Record{
 			Rank: in.n.ID, Index: k, At: p.Now(),
-			StateBytes: len(state), Deps: deps,
+			StateBytes: len(state), Deps: deps, Prev: prev,
 		}
 		s.records = append(s.records, rec)
+		if s.v.Incremental() {
+			// Only now — with the file durable — does img become the diff
+			// baseline; a skipped checkpoint re-diffs against the old one.
+			in.inc.Commit(k, img, prev)
+		}
 		if s.commitHook != nil {
 			s.commitHook([]Record{rec})
 		}

@@ -87,14 +87,45 @@ func Recover(m *par.Machine, v Variant, opt Options, factory func(rank int) mp.P
 				prog := factory(rank)
 				node := m.Nodes[rank]
 				if round > 0 {
-					st := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordStatePath(round, rank)})
-					if st.Err != nil {
-						panic(fmt.Sprintf("ckpt: recovery: missing state of rank %d round %d: %v", rank, round, st.Err))
+					var state []byte
+					if v.Incremental() {
+						// Replay the base+delta chain ending at the committed
+						// round: each slot file names the round it was encoded
+						// against, so the walk needs no cadence assumptions.
+						img, err := ReconstructState(func(idx int) ([]byte, int, error) {
+							st := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordIncStatePath(idx, rank)})
+							if st.Err != nil {
+								return nil, 0, st.Err
+							}
+							rep.StateBytes += int64(len(st.Data))
+							gotIdx, prev, _, payload, _, err := decodeIncCkpt(st.Data)
+							if err != nil {
+								return nil, 0, err
+							}
+							if gotIdx != idx {
+								return nil, 0, fmt.Errorf("slot holds round %d, want %d", gotIdx, idx)
+							}
+							return payload, prev, nil
+						}, round)
+						if err != nil {
+							panic(fmt.Sprintf("ckpt: recovery: rank %d round %d: %v", rank, round, err))
+						}
+						state = img
+					} else {
+						st := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordStatePath(round, rank)})
+						if st.Err != nil {
+							panic(fmt.Sprintf("ckpt: recovery: missing state of rank %d round %d: %v", rank, round, st.Err))
+						}
+						state = st.Data
+						rep.StateBytes += int64(len(st.Data))
 					}
-					par.RestoreAt(prog, round, st.Data)
-					rep.StateBytes += int64(len(st.Data))
+					par.RestoreAt(prog, round, state)
 					var msgs []*mp.Message
-					cl := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: coordChanPath(round, rank)})
+					chanPath := coordChanPath(round, rank)
+					if v.Incremental() {
+						chanPath = coordIncChanPath(round, rank)
+					}
+					cl := node.StorageCallRetry(p, storage.Request{Op: storage.OpRead, Path: chanPath})
 					if cl.Err == nil {
 						var err error
 						if msgs, err = decodeChanLog(cl.Data); err != nil {

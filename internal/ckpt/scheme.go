@@ -59,21 +59,39 @@ const (
 	// CICM takes a main-memory copy and saves in the background.
 	CIC
 	CICM
+	// CoordNBInc, IndepInc and CICInc are the incremental variants of the
+	// three families — the modern successor to the paper's memory-copy and
+	// staggering tricks. Every BaseEvery-th checkpoint is a full base image;
+	// the ones between are page-granularity deltas against the previous
+	// durable checkpoint (codec.EncodeDelta over the dirty pages a
+	// par.DirtyTracker reports), and both payload kinds are zero-run
+	// compressed, so the state written per checkpoint shrinks sharply.
+	// Recovery replays the base+delta chain (ReconstructState). The protocol
+	// machinery is unchanged: CoordNBInc runs the non-blocking coordinated
+	// rounds, IndepInc the local timers, CICInc the index-based forced
+	// checkpoints; all three block the application for the durable write
+	// (the delta is small, so buffering it in memory buys little).
+	CoordNBInc
+	IndepInc
+	CICInc
 )
 
 // variantNames is the single source of truth mapping variants to the paper's
 // scheme names; String and ParseVariant are both derived from it so the two
 // directions cannot drift apart when a variant is added.
 var variantNames = map[Variant]string{
-	CoordB:    "Coord_B",
-	CoordNB:   "Coord_NB",
-	CoordNBM:  "Coord_NBM",
-	CoordNBMS: "Coord_NBMS",
-	Indep:     "Indep",
-	IndepM:    "Indep_M",
-	IndepLog:  "Indep_Log",
-	CIC:       "CIC",
-	CICM:      "CIC_M",
+	CoordB:     "Coord_B",
+	CoordNB:    "Coord_NB",
+	CoordNBM:   "Coord_NBM",
+	CoordNBMS:  "Coord_NBMS",
+	Indep:      "Indep",
+	IndepM:     "Indep_M",
+	IndepLog:   "Indep_Log",
+	CIC:        "CIC",
+	CICM:       "CIC_M",
+	CoordNBInc: "Coord_NB_INC",
+	IndepInc:   "Indep_INC",
+	CICInc:     "CIC_INC",
 }
 
 // variantByName is the inverse of variantNames, built once at init.
@@ -114,7 +132,7 @@ func VariantNames() []string {
 }
 
 // Coordinated reports whether the variant is a coordinated scheme.
-func (v Variant) Coordinated() bool { return v <= CoordNBMS }
+func (v Variant) Coordinated() bool { return v <= CoordNBMS || v == CoordNBInc }
 
 // MemBuffered reports whether the variant uses main-memory checkpointing.
 func (v Variant) MemBuffered() bool {
@@ -122,7 +140,13 @@ func (v Variant) MemBuffered() bool {
 }
 
 // CommunicationInduced reports whether the variant belongs to the CIC family.
-func (v Variant) CommunicationInduced() bool { return v == CIC || v == CICM }
+func (v Variant) CommunicationInduced() bool { return v == CIC || v == CICM || v == CICInc }
+
+// Incremental reports whether the variant writes base+delta checkpoint
+// chains instead of full images.
+func (v Variant) Incremental() bool {
+	return v == CoordNBInc || v == IndepInc || v == CICInc
+}
 
 // Options configure a scheme instance.
 type Options struct {
@@ -188,6 +212,12 @@ type Record struct {
 	StateBytes int
 	ChanBytes  int
 	Deps       []Dep // independent only: receive edges of the closed interval
+
+	// Prev is the chain pointer of an incremental checkpoint: 0 for a full
+	// base image, else the index of the durable checkpoint this delta was
+	// encoded against (real indices start at 1). Always 0 for full-image
+	// variants.
+	Prev int
 }
 
 // Stats aggregates a scheme's activity over a run.
@@ -282,7 +312,7 @@ func New(v Variant, opt Options) Scheme {
 	switch {
 	case v.Coordinated():
 		return newCoordinated(v, opt)
-	case v == Indep || v == IndepM || v == IndepLog:
+	case v == Indep || v == IndepM || v == IndepLog || v == IndepInc:
 		return newIndependent(v, opt)
 	}
 	panic(fmt.Sprintf("ckpt: no scheme registered for %v (missing blank import of its implementing package, e.g. repro/internal/cic?)", v))

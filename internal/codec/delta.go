@@ -1,0 +1,281 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Delta codec: page-indexed incremental checkpoint images.
+//
+// An incremental checkpoint chain is a full "base" image followed by up to
+// K-1 "delta" images, each recording only the pages that differ from the
+// previous image in the chain. Both payload kinds compress zero bytes with a
+// deterministic zero-run RLE — the simulated stand-in for the compression
+// step of real incremental checkpointers — so the all-zero padding that
+// models the fixed checkpoint image size (par.Config.CkptImageBytes)
+// collapses to a few bytes and incremental checkpoints are strictly smaller
+// than their full-image counterparts.
+//
+// Decoding is hardened for fuzzing: corrupt or truncated payloads return an
+// error, never panic, and decoded sizes are capped so hostile length fields
+// cannot force huge allocations.
+
+const (
+	baseMagic  uint64 = 0xc4b0_79a1_0b5e_0001 // full base image payload
+	deltaMagic uint64 = 0xc4b0_79a1_0de1_0002 // page-delta payload
+)
+
+// minZeroRun is the shortest run of zero bytes the RLE encodes as a hole.
+// Each RLE record costs 16 bytes of framing, so breaking a literal for a
+// shorter run would grow the stream; with this floor every non-final record
+// shrinks it.
+const minZeroRun = 32
+
+// maxImageBytes bounds the decoded size of any image or page, so corrupt
+// length fields fail fast instead of allocating gigabytes.
+const maxImageBytes = 1 << 28
+
+// IsBaseImage reports whether payload carries a full base image.
+func IsBaseImage(payload []byte) bool {
+	return len(payload) >= 8 && binary.LittleEndian.Uint64(payload) == baseMagic
+}
+
+// IsDeltaImage reports whether payload carries a page delta.
+func IsDeltaImage(payload []byte) bool {
+	return len(payload) >= 8 && binary.LittleEndian.Uint64(payload) == deltaMagic
+}
+
+// EncodeBaseImage encodes a full image as a zero-run-compressed base payload.
+func EncodeBaseImage(cur []byte) []byte {
+	w := NewWriter()
+	w.U64(baseMagic)
+	writeZeroRLE(w, cur)
+	return w.Bytes()
+}
+
+// DecodeBaseImage decodes a payload produced by EncodeBaseImage.
+func DecodeBaseImage(payload []byte) ([]byte, error) {
+	r := NewReader(payload)
+	if m := r.U64(); r.err == nil && m != baseMagic {
+		return nil, fmt.Errorf("codec: not a base image (magic %#x)", m)
+	}
+	img := readZeroRLE(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("codec: %d trailing bytes after base image", r.Remaining())
+	}
+	return img, nil
+}
+
+// DirtyPages returns the indices of the fixed-size pages of cur that differ
+// from prev, treating prev as zero-extended (or truncated) to len(cur) — the
+// page set a dirty-region tracker would have recorded between the two
+// snapshots.
+func DirtyPages(prev, cur []byte, pageSize int) []int {
+	if pageSize <= 0 {
+		panic("codec: page size must be positive")
+	}
+	var dirty []int
+	for off, idx := 0, 0; off < len(cur); off, idx = off+pageSize, idx+1 {
+		end := off + pageSize
+		if end > len(cur) {
+			end = len(cur)
+		}
+		if !pagesEqual(prev, cur[off:end], off) {
+			dirty = append(dirty, idx)
+		}
+	}
+	return dirty
+}
+
+// pagesEqual reports whether curPage equals the slice of prev starting at
+// off, with prev treated as zero-extended past its end.
+func pagesEqual(prev []byte, curPage []byte, off int) bool {
+	overlap := len(prev) - off
+	if overlap < 0 {
+		overlap, off = 0, len(prev)
+	}
+	if overlap > len(curPage) {
+		overlap = len(curPage)
+	}
+	if !bytes.Equal(prev[off:off+overlap], curPage[:overlap]) {
+		return false
+	}
+	for _, b := range curPage[overlap:] {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeDelta encodes the pages of cur that differ from prev. prev is the
+// previous image in the chain (zero-extended or truncated if the state
+// changed size); pageSize is the app's StatePageSize. The payload replays
+// against exactly len(prev) bytes — ApplyDelta enforces the match, which is
+// what makes a broken chain detectable.
+func EncodeDelta(prev, cur []byte, pageSize int) []byte {
+	dirty := DirtyPages(prev, cur, pageSize)
+	w := NewWriter()
+	w.U64(deltaMagic)
+	w.Int(len(cur))
+	w.Int(len(prev))
+	w.Int(pageSize)
+	w.Int(len(dirty))
+	for _, idx := range dirty {
+		off := idx * pageSize
+		end := off + pageSize
+		if end > len(cur) {
+			end = len(cur)
+		}
+		w.Int(idx)
+		writeZeroRLE(w, cur[off:end])
+	}
+	return w.Bytes()
+}
+
+// ApplyDelta reconstructs the next image in a chain from the previous image
+// and a delta payload. It errors (never panics) on corrupt payloads and on
+// chain mismatches (the delta was not encoded against an image of len(prev)).
+func ApplyDelta(prev, payload []byte) ([]byte, error) {
+	r := NewReader(payload)
+	if m := r.U64(); r.err == nil && m != deltaMagic {
+		return nil, fmt.Errorf("codec: not a delta image (magic %#x)", m)
+	}
+	total := r.Int()
+	prevLen := r.Int()
+	pageSize := r.Int()
+	npages := r.Int()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if total < 0 || total > maxImageBytes {
+		return nil, fmt.Errorf("codec: delta image size %d out of range", total)
+	}
+	if prevLen != len(prev) {
+		return nil, fmt.Errorf("codec: delta chain mismatch: delta expects previous image of %d bytes, have %d", prevLen, len(prev))
+	}
+	if pageSize <= 0 || pageSize > maxImageBytes {
+		return nil, fmt.Errorf("codec: delta page size %d out of range", pageSize)
+	}
+	maxPages := (total + pageSize - 1) / pageSize
+	if npages < 0 || npages > maxPages {
+		return nil, fmt.Errorf("codec: delta page count %d out of range (image holds %d pages)", npages, maxPages)
+	}
+	out := make([]byte, total)
+	copy(out, prev)
+	last := -1
+	for i := 0; i < npages; i++ {
+		idx := r.Int()
+		page := readZeroRLE(r)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if idx <= last || idx >= maxPages {
+			return nil, fmt.Errorf("codec: delta page index %d out of order or range", idx)
+		}
+		last = idx
+		off := idx * pageSize
+		want := pageSize
+		if off+want > total {
+			want = total - off
+		}
+		if len(page) != want {
+			return nil, fmt.Errorf("codec: delta page %d holds %d bytes, want %d", idx, len(page), want)
+		}
+		copy(out[off:], page)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("codec: %d trailing bytes after delta image", r.Remaining())
+	}
+	return out, nil
+}
+
+// ReconstructImage replays a full chain — a base payload followed by its
+// deltas in commit order — and returns the final image.
+func ReconstructImage(chain [][]byte) ([]byte, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("codec: empty checkpoint chain")
+	}
+	img, err := DecodeBaseImage(chain[0])
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range chain[1:] {
+		img, err = ApplyDelta(img, d)
+		if err != nil {
+			return nil, fmt.Errorf("codec: applying chain link %d: %w", i+1, err)
+		}
+	}
+	return img, nil
+}
+
+// writeZeroRLE appends b as a zero-run-compressed stream: the decoded length,
+// then (literal length, literal bytes, zero-run length) records until the
+// length is covered. Only runs of at least minZeroRun zeros become holes, so
+// the stream never grows by more than one record's framing.
+func writeZeroRLE(w *Writer, b []byte) {
+	w.Int(len(b))
+	for i := 0; i < len(b); {
+		// Find the next zero run of at least minZeroRun bytes at or after i.
+		runStart, runEnd := len(b), len(b)
+		for j := i; j < len(b); {
+			if b[j] != 0 {
+				j++
+				continue
+			}
+			k := j + 1
+			for k < len(b) && b[k] == 0 {
+				k++
+			}
+			if k-j >= minZeroRun {
+				runStart, runEnd = j, k
+				break
+			}
+			j = k
+		}
+		w.Int(runStart - i)
+		w.buf = append(w.buf, b[i:runStart]...)
+		w.Int(runEnd - runStart)
+		i = runEnd
+	}
+}
+
+// readZeroRLE decodes a stream written by writeZeroRLE, setting the reader's
+// sticky error on any malformed field.
+func readZeroRLE(r *Reader) []byte {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxImageBytes {
+		r.err = fmt.Errorf("codec: zero-RLE length %d out of range", n)
+		return nil
+	}
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		lit := r.Int()
+		if r.err != nil {
+			return nil
+		}
+		if lit < 0 || lit > n-len(out) || r.off+lit > len(r.buf) {
+			r.err = fmt.Errorf("codec: zero-RLE literal length %d out of range", lit)
+			return nil
+		}
+		out = append(out, r.buf[r.off:r.off+lit]...)
+		r.off += lit
+		zeros := r.Int()
+		if r.err != nil {
+			return nil
+		}
+		if zeros < 0 || zeros > n-len(out) {
+			r.err = fmt.Errorf("codec: zero-RLE run length %d out of range", zeros)
+			return nil
+		}
+		out = append(out, make([]byte, zeros)...)
+	}
+	return out
+}

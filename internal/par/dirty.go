@@ -1,0 +1,104 @@
+package par
+
+import "repro/internal/codec"
+
+// Paged is implemented by app programs that expose their checkpoint state as
+// fixed-size pages for dirty-region tracking. The page size is the
+// granularity at which the incremental schemes diff successive snapshots —
+// the simulated analogue of an mprotect-based dirty-page tracker. Programs
+// that don't implement it fall back to DefaultStatePageSize.
+type Paged interface {
+	StatePageSize() int
+}
+
+// DefaultStatePageSize is the dirty-tracking granularity for programs that
+// don't implement Paged: the classic 4 KiB hardware page.
+const DefaultStatePageSize = 4096
+
+// StatePageSizeOf resolves a snapshotter's dirty-tracking page size.
+func StatePageSizeOf(s Snapshotter) int {
+	if p, ok := s.(Paged); ok {
+		if ps := p.StatePageSize(); ps > 0 {
+			return ps
+		}
+	}
+	return DefaultStatePageSize
+}
+
+// DirtyTracker records which pages of a node's checkpoint image changed
+// since the last retained checkpoint, by keeping the previous image and
+// diffing at page granularity. It follows the repo's nil-is-free
+// instrumentation contract: a nil tracker is inert — every method is safe to
+// call, nothing is retained, and schemes that don't checkpoint incrementally
+// pay nothing for the seam's presence.
+type DirtyTracker struct {
+	pageSize int
+	prev     []byte
+	primed   bool
+}
+
+// NewDirtyTracker returns a tracker diffing at the given page size.
+func NewDirtyTracker(pageSize int) *DirtyTracker {
+	if pageSize <= 0 {
+		pageSize = DefaultStatePageSize
+	}
+	return &DirtyTracker{pageSize: pageSize}
+}
+
+// PageSize returns the tracking granularity.
+func (t *DirtyTracker) PageSize() int {
+	if t == nil {
+		return DefaultStatePageSize
+	}
+	return t.pageSize
+}
+
+// Primed reports whether a previous image is retained — i.e. whether a delta
+// can be encoded. A fresh or Reset tracker is unprimed, which is what forces
+// the first checkpoint after a start or a recovery to be a full base.
+func (t *DirtyTracker) Primed() bool { return t != nil && t.primed }
+
+// Prev returns the retained previous image (nil when unprimed).
+func (t *DirtyTracker) Prev() []byte {
+	if t == nil || !t.primed {
+		return nil
+	}
+	return t.prev
+}
+
+// Retain stores a copy of img as the new diff baseline. Schemes call it only
+// once the checkpoint holding img is durable (committed, for coordinated
+// rounds), so the chain's prev pointers always name durable checkpoints.
+func (t *DirtyTracker) Retain(img []byte) {
+	if t == nil {
+		return
+	}
+	t.prev = append(t.prev[:0], img...)
+	t.primed = true
+}
+
+// Reset drops the retained image, forcing the next checkpoint to be a base.
+// Recovery paths call it: after a rollback the last durable image on stable
+// storage no longer matches any in-memory baseline.
+func (t *DirtyTracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.prev = t.prev[:0]
+	t.primed = false
+}
+
+// DirtyPages returns the indices of cur's pages that differ from the
+// retained image (all pages when unprimed).
+func (t *DirtyTracker) DirtyPages(cur []byte) []int {
+	return codec.DirtyPages(t.Prev(), cur, t.PageSize())
+}
+
+// Delta encodes the dirty pages of cur against the retained image. The
+// tracker must be primed.
+func (t *DirtyTracker) Delta(cur []byte) []byte {
+	if !t.Primed() {
+		panic("par: Delta on an unprimed DirtyTracker")
+	}
+	return codec.EncodeDelta(t.prev, cur, t.pageSize)
+}

@@ -57,6 +57,12 @@ func AttachGC(m *par.Machine, sch ckpt.Scheme, interval sim.Duration) *GarbageCo
 	if sch.Variant().Coordinated() {
 		panic("rdg: AttachGC applies to independent schemes")
 	}
+	if sch.Variant().Incremental() {
+		// A reclaimed checkpoint may be the base (or an interior delta) of a
+		// live chain; line-based reclamation would have to keep every chain
+		// member a retained checkpoint resolves through.
+		panic("rdg: AttachGC cannot reclaim incremental schemes: delta chains make line-based reclamation unsafe")
+	}
 	if _, ok := sch.(jobEnqueuer); !ok {
 		panic("rdg: scheme does not expose daemon jobs")
 	}

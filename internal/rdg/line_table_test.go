@@ -102,6 +102,26 @@ func TestRecoveryLineTable(t *testing.T) {
 			rollback: []int{0, 0, 0, 0},
 		},
 		{
+			// Sparse indices, the CIC geometry: a forced checkpoint made p1
+			// jump from 1 straight to 3 — index 2 was never taken. Rolling p1
+			// back past its orphaned checkpoint 3 must land on its newest
+			// *committed* checkpoint below it (1), not on the phantom index 2
+			// no scheme ever wrote. (Caught live by a CIC_INC oracle cell:
+			// the phantom line index made recovery reclaim the rank's real
+			// checkpoints and then fail to read the phantom one back.)
+			name: "sparse-indices-snap-to-committed",
+			n:    2,
+			recs: []ckpt.Record{
+				rec(0, 1, 10), rec(0, 2, 20),
+				rec(1, 1, 12), rec(1, 3, 22, dep(0, 2)),
+			},
+			line: []int{2, 1},
+			orphansAtLatest: []Edge{
+				{Receiver: 1, RecvCkpt: 3, Sender: 0, SentInterval: 2},
+			},
+			rollback: []int{0, 2},
+		},
+		{
 			// Z-cycle: p0's checkpoint 2 depends on p1's interval 1, and p1's
 			// checkpoint 1 depends on p0's interval 1 — a zigzag path from
 			// p1's checkpoint 1 back to itself. That checkpoint lies on no

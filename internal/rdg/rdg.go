@@ -43,6 +43,7 @@ type Graph struct {
 	n      int
 	latest []int // newest durable checkpoint index per rank
 	at     map[CheckpointID]sim.Time
+	exists map[CheckpointID]bool // committed checkpoints; indices can be sparse (CIC jumps)
 	edges  []Edge
 }
 
@@ -55,7 +56,7 @@ func FromRecords(n int, recs []ckpt.Record) *Graph {
 // FromRecordsAt builds the graph visible at a failure at time t: only
 // checkpoints durable strictly before t exist in stable storage.
 func FromRecordsAt(n int, recs []ckpt.Record, t sim.Time) *Graph {
-	g := &Graph{n: n, latest: make([]int, n), at: make(map[CheckpointID]sim.Time)}
+	g := &Graph{n: n, latest: make([]int, n), at: make(map[CheckpointID]sim.Time), exists: make(map[CheckpointID]bool)}
 	for _, r := range recs {
 		if r.At >= t {
 			continue
@@ -64,6 +65,7 @@ func FromRecordsAt(n int, recs []ckpt.Record, t sim.Time) *Graph {
 			g.latest[r.Rank] = r.Index
 		}
 		g.at[CheckpointID{r.Rank, r.Index}] = r.At
+		g.exists[CheckpointID{r.Rank, r.Index}] = true
 		for _, d := range r.Deps {
 			g.edges = append(g.edges, Edge{
 				Receiver: r.Rank, RecvCkpt: r.Index,
@@ -105,12 +107,26 @@ func (g *Graph) RecoveryLine() []int {
 			// The receive is part of p's restored state iff line[p] >= RecvCkpt.
 			// The send is part of q's restored state iff line[q] > SentInterval.
 			if line[e.Receiver] >= e.RecvCkpt && line[e.Sender] <= e.SentInterval {
-				line[e.Receiver] = e.RecvCkpt - 1
+				line[e.Receiver] = g.snapDown(e.Receiver, e.RecvCkpt-1)
 				changed = true
 			}
 		}
 	}
 	return line
+}
+
+// snapDown returns the newest committed checkpoint of rank at or below idx,
+// or 0 (the initial state) if none exists. Rolling back past a receive lands
+// on "just before the checkpoint that closed it" — but CIC's forced
+// checkpoints jump indices, so that index may name a checkpoint the rank
+// never took; the restorable state is the nearest committed one below it.
+func (g *Graph) snapDown(rank, idx int) int {
+	for ; idx > 0; idx-- {
+		if g.exists[CheckpointID{rank, idx}] {
+			return idx
+		}
+	}
+	return 0
 }
 
 // Consistent reports whether a recovery line creates no orphan message: for
