@@ -15,6 +15,7 @@
 //	chkbench -exp interval   # E9: overhead vs checkpoint interval
 //	chkbench -exp scaling    # E10: overhead vs machine size
 //	chkbench -exp avail      # E12: availability under injected faults
+//	chkbench -exp failover   # E15: coordinator failover (pre-commit + election)
 //
 // Concurrency: the (workload, scheme) matrix fans out over a worker pool.
 // Results are byte-identical at every parallelism level — each cell's
@@ -85,7 +86,7 @@ func run(args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("chkbench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	table := fs.String("table", "", "table to regenerate: 1, 2, 3 or all")
-	exp := fs.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling, domino, avail")
+	exp := fs.String("exp", "", "extension experiment: sync, storage, stagger, interval, scaling, domino, avail, failover")
 	quick := fs.Bool("quick", false, "use reduced workload sizes")
 	verbose := fs.Bool("v", false, "log every run")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the benchmark matrix (0 = GOMAXPROCS)")
@@ -121,7 +122,11 @@ func run(args []string, out, errw io.Writer) (err error) {
 		}
 		fmt.Fprintln(out, "Schemes (-scheme; case-insensitive, Coord_ prefix and underscores optional):")
 		for _, name := range bench.SchemeNames() {
-			fmt.Fprintln(out, "  "+name)
+			line := "  " + name
+			if v, err := bench.SchemeByName(name); err == nil && v.Failover() {
+				line += "  (failover: survives a coordinator crash via pre-commit + election)"
+			}
+			fmt.Fprintln(out, line)
 		}
 		fmt.Fprintln(out, "Topologies (-topo SPEC):")
 		for _, name := range bench.TopologyNames() {

@@ -65,10 +65,14 @@ func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"SOR", "NBMS", "Indep"} {
+	for _, want := range []string{"SOR", "NBMS", "Indep", "Coord_NB_FT", "failover"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
+	}
+	// The failover marker belongs to the fault-tolerant pair only.
+	if n := strings.Count(out.String(), "failover:"); n != 2 {
+		t.Fatalf("failover marker on %d schemes, want 2:\n%s", n, out.String())
 	}
 }
 

@@ -9,8 +9,10 @@
 //
 // Usage:
 //
-//	chkcheck -quick                   # CI sweep: 224 cells, all 7 schemes
-//	chkcheck -full                    # overnight sweep: 1008 cells
+//	chkcheck -quick                   # CI sweep: all 12 schemes, plus the
+//	                                  # sharded-storage and coordinator-kill
+//	                                  # lattices
+//	chkcheck -full                    # overnight sweep: more apps/strata/seeds
 //	chkcheck -cell 'APP/SCHEME#REP'   # reproduce one cell by its printed name
 //	chkcheck -parallel 8              # worker goroutines (default GOMAXPROCS)
 //	chkcheck -v                       # log every recovered cell
@@ -58,8 +60,8 @@ func main() {
 func run(args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("chkcheck", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	quick := fs.Bool("quick", false, "run the CI sweep: 2 apps x 7 schemes x 4 strata x 4 seeds (the default)")
-	full := fs.Bool("full", false, "run the overnight sweep: 3 apps x 7 schemes x 6 strata x 8 seeds")
+	quick := fs.Bool("quick", false, "run the CI sweep: 2 apps x 12 schemes x 4 strata x 4 seeds (the default)")
+	full := fs.Bool("full", false, "run the overnight sweep: 3 apps x 12 schemes x 6 strata x 8 seeds")
 	cell := fs.String("cell", "", "reproduce one cell by name, e.g. 'RING-256B-i40/Coord_NBM#5'")
 	parallel := fs.Int("parallel", 0, "worker goroutines for the sweep (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "log every recovered cell")
@@ -83,21 +85,25 @@ func run(args []string, out, errw io.Writer) (err error) {
 	}
 	// -cell resolves against the lattice it was reported from, so -full
 	// changes both what a sweep runs and what a cell name means. The sharded
-	// sweep runs in both modes and its cell names are disjoint from both
-	// lattices, so -cell falls through to it unambiguously.
+	// and coordinator-kill sweeps run in both modes and their cell names are
+	// disjoint from both lattices (and from each other), so -cell falls
+	// through to them unambiguously.
 	cfg := check.QuickSweep(par.DefaultConfig())
 	if *full {
 		cfg = check.FullSweep(par.DefaultConfig())
 	}
 	shard := check.ShardSweep(par.DefaultConfig())
+	failover := check.FailoverSweep(par.DefaultConfig())
 	cfg.Parallel = *parallel
 	shard.Parallel = *parallel
+	failover.Parallel = *parallel
 	if *verbose {
 		cfg.Prog = bench.NewLineProgress(errw)
 		shard.Prog = cfg.Prog
+		failover.Prog = cfg.Prog
 	}
 	if *cell != "" {
-		return runCell([]check.SweepConfig{cfg, shard}, *cell, *traceOut, out)
+		return runCell([]check.SweepConfig{cfg, shard, failover}, *cell, *traceOut, out)
 	}
 	if *traceOut != "" {
 		return errors.New("-trace instruments a single run: combine it with -cell")
@@ -108,7 +114,7 @@ func run(args []string, out, errw io.Writer) (err error) {
 	defer stop()
 	start := time.Now()
 	var rep check.SweepReport
-	for _, sc := range []check.SweepConfig{cfg, shard} {
+	for _, sc := range []check.SweepConfig{cfg, shard, failover} {
 		r, err := check.Sweep(ctx, sc)
 		rep.Cells += r.Cells
 		rep.Checks += r.Checks

@@ -10,6 +10,10 @@
 //	chkrecover -exp scale    # E14: checkpoint overhead and storage contention
 //	                         #      on meshes up to 1024 nodes with stable
 //	                         #      storage sharded over up to 16 servers
+//	chkrecover -exp failover # E15: coordinator killed inside each protocol
+//	                         #      window; election + three-phase commit vs
+//	                         #      the plain coordinated baseline
+//	chkrecover -exp failover -killphase meta   # restrict E15 to one window
 //
 // Any failing experiment cell aborts the run with a non-zero exit status and
 // a message naming the cell and its replay seed.
@@ -55,7 +59,8 @@ func main() {
 func run(args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("chkrecover", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	exp := fs.String("exp", "coord", "experiment: coord, domino, logging, avail or scale")
+	exp := fs.String("exp", "coord", "experiment: coord, domino, logging, avail, scale or failover")
+	killphase := fs.String("killphase", "", "restrict -exp failover to one kill window: round, acks, precommit, meta or commit (default: all)")
 	scheme := fs.String("scheme", "NBMS", "coordinated scheme for -exp coord")
 	interval := fs.Duration("interval", 3*time.Second, "checkpoint interval (virtual)")
 	crashAt := fs.Duration("crash", 15*time.Second, "failure time (virtual)")
@@ -108,7 +113,15 @@ func run(args []string, out, errw io.Writer) (err error) {
 			bench.NewRunner(*parallel, prog), *seed)
 	case "scale":
 		return bench.ScaleExperiment(out, cfg, *quick, bench.NewRunner(*parallel, prog))
+	case "failover":
+		if *killphase != "" {
+			if err := bench.ValidKillPhase(*killphase); err != nil {
+				return fmt.Errorf("%w: -killphase: %v", errUsage, err)
+			}
+		}
+		return bench.FailoverExperimentPhase(out, cfg, *quick,
+			bench.NewRunner(*parallel, prog), *killphase)
 	default:
-		return fmt.Errorf("%w: unknown experiment %q: want coord, domino, logging, avail or scale", errUsage, *exp)
+		return fmt.Errorf("%w: unknown experiment %q: want coord, domino, logging, avail, scale or failover", errUsage, *exp)
 	}
 }

@@ -49,6 +49,25 @@ func TestRunUnknownSchemeFails(t *testing.T) {
 	}
 }
 
+// TestRunBadKillPhaseIsUsage: an -exp failover kill-window typo is
+// command-line misuse, so it must surface as errUsage (exit 2), name the bad
+// value, and run no cells.
+func TestRunBadKillPhaseIsUsage(t *testing.T) {
+	var out, errw strings.Builder
+	err := run([]string{"-exp", "failover", "-killphase", "bogus"}, &out, &errw)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("err = %v, want errUsage", err)
+	}
+	for _, want := range []string{`"bogus"`, "precommit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("err = %v, want it to mention %q", err, want)
+		}
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout not empty on a usage error:\n%s", out.String())
+	}
+}
+
 // TestRunBadFlagFails proves flag misuse surfaces as an error (main exits 2).
 func TestRunBadFlagFails(t *testing.T) {
 	var out, errw strings.Builder

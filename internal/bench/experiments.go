@@ -43,6 +43,8 @@ func RunExperiment(w io.Writer, name string, cfg par.Config, quick bool, r *Runn
 		return DominoExperiment(w, cfg, quick, r)
 	case "avail":
 		return AvailabilityExperiment(w, cfg, quick, r)
+	case "failover":
+		return FailoverExperiment(w, cfg, quick, r)
 	case "scale":
 		return ScaleExperiment(w, cfg, quick, r)
 	default:

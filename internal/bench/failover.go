@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/ckpt"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/mp"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// KillPhases is the coordinator-kill axis shared by the E15 experiment and
+// the correctness oracle's failover sweep: every window of the coordinated
+// round in announcement order. The plain coordinated variants never announce
+// "precommit" — only the fault-tolerant pair runs the third phase — so both
+// consumers drop that phase for them.
+var KillPhases = []string{"round", "acks", "precommit", "meta", "commit"}
+
+// ValidKillPhase reports whether phase names a window of the coordinated
+// round; the error lists the accepted names so a typo on the command line
+// fails loudly instead of sweeping nothing.
+func ValidKillPhase(phase string) error {
+	for _, p := range KillPhases {
+		if p == phase {
+			return nil
+		}
+	}
+	return fmt.Errorf("bench: unknown kill phase %q: want one of %s",
+		phase, strings.Join(KillPhases, ", "))
+}
+
+// FailoverExperiment (E15) measures what the three-phase commit and the
+// coordinator election buy when the coordinator itself dies. Each cell kills
+// rank 0 inside one window of the checkpoint round — while the round is
+// announced, after all acks, after the pre-commit barrier, after the commit
+// record lands, after the commit broadcast — lets the failure detector and
+// election settle, then crashes the survivors and recovers the machine from
+// stable storage through the scheme's own protocol, verifying the final
+// results against the workload's oracle. The fault-tolerant pair resolves
+// the interrupted round (completing it when any survivor pre-committed,
+// aborting it otherwise) before the full restart; plain Coord_NB is the
+// baseline that can only stall until that restart.
+//
+// A second, analytic table converts the measured per-crash cost into
+// steady-state availability at a range of coordinator MTTFs, in the paper's
+// first-order style: failures arrive at rate 1/MTTF and each costs the mean
+// measured crash-to-recovery overhead.
+func FailoverExperiment(w io.Writer, cfg par.Config, quick bool, r *Runner) error {
+	return FailoverExperimentPhase(w, cfg, quick, r, "")
+}
+
+// FailoverExperimentPhase is FailoverExperiment restricted to a single kill
+// window; phase "" sweeps every window, which is what the experiment
+// dispatcher runs.
+func FailoverExperimentPhase(w io.Writer, cfg par.Config, quick bool, r *Runner, phase string) error {
+	if phase != "" {
+		if err := ValidKillPhase(phase); err != nil {
+			return err
+		}
+	}
+	r = r.orDefault()
+	wl := syntheticWorkload(pick(quick, 100_000, 200_000))
+	schemes := []ckpt.Variant{ckpt.CoordNB, ckpt.CoordNBFT, ckpt.CoordNBFTInc}
+	phases := KillPhases
+	if phase != "" {
+		phases = []string{phase}
+	}
+
+	// The no-checkpointing baseline fixes the interval, as everywhere else.
+	var baseExec sim.Duration
+	baseCell := []Cell{{App: wl.Name, Scheme: "normal"}}
+	err := r.ForEach(context.Background(), baseCell, func(ctx context.Context, i int, c Cell) error {
+		base, err := core.Run(wl, core.Config{Machine: cfg})
+		if err != nil {
+			return err
+		}
+		baseExec = base.Exec
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	interval := baseExec / 5
+
+	// Fault-free runs of each scheme anchor the per-crash cost: the kill
+	// cells are compared against the same scheme running undisturbed, so the
+	// overhead column isolates the crash, not the checkpointing.
+	ffExec := make([]sim.Duration, len(schemes))
+	ffCells := make([]Cell, len(schemes))
+	for i, v := range schemes {
+		ffCells[i] = Cell{App: wl.Name, Scheme: v.String()}
+	}
+	err = r.ForEach(context.Background(), ffCells, func(ctx context.Context, i int, c Cell) error {
+		res, err := core.Run(wl, core.Config{Machine: cfg, Scheme: schemes[i], Interval: interval})
+		if err != nil {
+			return err
+		}
+		ffExec[i] = res.Exec
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	type failoverRow struct {
+		scheme ckpt.Variant
+		si     int // index into schemes/ffExec
+		phase  string
+		rep    failoverReport
+	}
+	rows := make([]failoverRow, 0, len(schemes)*len(phases))
+	cells := make([]Cell, 0, cap(rows))
+	for si, v := range schemes {
+		for pi, ph := range phases {
+			if ph == "precommit" && !v.Failover() {
+				continue // window the plain variants never announce
+			}
+			rows = append(rows, failoverRow{scheme: v, si: si, phase: ph})
+			cells = append(cells, Cell{App: wl.Name, Scheme: v.String(), Rep: pi})
+		}
+	}
+	err = r.ForEach(context.Background(), cells, func(ctx context.Context, i int, c Cell) error {
+		rep, err := runFailover(wl, cfg, rows[i].scheme, interval, rows[i].phase, c.Seed())
+		if err != nil {
+			return err
+		}
+		rows[i].rep = rep
+		r.Prog.logf("%-24s kill@%-9s %8.2fs -> %s, round %d", c.Name(), rows[i].phase,
+			rep.CrashAt.Seconds(), rep.Resolution, rep.Round)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	t := trace.NewTable(fmt.Sprintf("E15: coordinator failover (synthetic ring, interval %.1fs)", interval.Seconds()),
+		"Scheme", "Kill window", "Rounds@crash", "Resolution", "Recovered rd", "Elections", "Exec", "Crash cost", "Avail %").
+		Align(2, 4, 5, 6, 7, 8)
+	cost := make([]sim.Duration, len(schemes))
+	nkill := make([]int, len(schemes))
+	for _, row := range rows {
+		rep := row.rep
+		over := rep.Exec - ffExec[row.si]
+		cost[row.si] += over
+		nkill[row.si]++
+		t.Rowf(row.scheme.String(), row.phase, rep.RoundsAtCrash, rep.Resolution,
+			rep.Round, rep.Elections,
+			fmt.Sprintf("%.2fs", rep.Exec.Seconds()),
+			fmt.Sprintf("%.2fs", over.Seconds()),
+			fmt.Sprintf("%.1f", float64(ffExec[row.si])/float64(rep.Exec)*100))
+	}
+	t.Write(w)
+
+	mttfs := pick(quick,
+		[]sim.Duration{30 * sim.Second, 120 * sim.Second},
+		[]sim.Duration{30 * sim.Second, 120 * sim.Second, 480 * sim.Second})
+	cols := make([]string, 0, 1+len(mttfs))
+	cols = append(cols, "Scheme")
+	aligns := make([]int, 0, len(mttfs)+1)
+	for i, mttf := range mttfs {
+		cols = append(cols, fmt.Sprintf("MTTF %.0fs", mttf.Seconds()))
+		aligns = append(aligns, i+1)
+	}
+	cols = append(cols, "Mean crash cost")
+	aligns = append(aligns, len(mttfs)+1)
+	t2 := trace.NewTable("E15: analytic availability vs coordinator MTTF (failures cost the mean measured overhead)",
+		cols...).Align(aligns...)
+	for si, v := range schemes {
+		mean := cost[si] / sim.Duration(nkill[si])
+		vals := make([]any, 0, len(cols)-1)
+		vals = append(vals, v.String())
+		for _, mttf := range mttfs {
+			vals = append(vals, fmt.Sprintf("%.2f%%", float64(mttf)/float64(mttf+mean)*100))
+		}
+		vals = append(vals, fmt.Sprintf("%.2fs", mean.Seconds()))
+		t2.Rowf(vals...)
+	}
+	t2.Write(w)
+	fmt.Fprintln(w, "\nCrash cost is execution time beyond the same scheme's fault-free run:")
+	fmt.Fprintln(w, "work lost to the rollback plus detection, election and restart delays.")
+	fmt.Fprintln(w, "The fault-tolerant pair resolves the interrupted round before the")
+	fmt.Fprintln(w, "restart — a kill before the pre-commit barrier aborts it (no partial")
+	fmt.Fprintln(w, "durable state), a kill after completes it under the elected successor —")
+	fmt.Fprintln(w, "so the recovered round never regresses past what survivors had acked.")
+	return nil
+}
+
+// failoverReport is one coordinator-kill cell's measurements.
+type failoverReport struct {
+	CrashAt       sim.Time     // when the targeted kill fired
+	RoundsAtCrash int          // rounds committed before the coordinator died
+	Resolution    string       // how the interrupted round ended: adopted, aborted, none in flight, stalled
+	Round         int          // round the full recovery restored
+	Elections     int          // takeovers the failure detector ran
+	Exec          sim.Duration // total execution, crash and recovery included
+}
+
+// runFailover executes one E15 cell: run the workload under the scheme, kill
+// rank 0 inside the named protocol window, let the election (if the scheme
+// has one) resolve the interrupted round, then crash the survivors, recover
+// the machine from stable storage, and verify the final results against the
+// workload's oracle.
+func runFailover(wl apps.Workload, cfg par.Config, v ckpt.Variant, interval sim.Duration, phase string, seed uint64) (failoverReport, error) {
+	m := par.NewMachine(cfg)
+	defer m.Shutdown()
+	opt := ckpt.Options{Interval: interval}
+	if v.Failover() {
+		opt.Failover = ckpt.DefaultFailoverConfig()
+	}
+	sch := ckpt.New(v, opt)
+	sch.Attach(m)
+	world := mp.NewWorld(m)
+	factory := func(rank int) mp.Program { return wl.Make(rank, m.NumNodes()) }
+	for rank := 0; rank < m.NumNodes(); rank++ {
+		world.Launch(rank, factory(rank))
+	}
+
+	// The settle window gives the failure detector time to suspect, elect and
+	// resolve before the survivors are crashed for the full recovery; plain
+	// Coord_NB just stalls through it, which is the point of the comparison.
+	fo := ckpt.DefaultFailoverConfig()
+	settle := fo.Timeout + fo.ElectWait + 2*sim.Second
+	const repair = 500 * sim.Millisecond
+	var out failoverReport
+	var rep *ckpt.RecoveryReport
+	var w2 *mp.World
+	plan := faults.Plan{
+		Seed:    seed,
+		Targets: []faults.TargetedCrash{{Rank: 0, Phase: phase}},
+		OnCrash: func(node int) {
+			out.CrashAt = m.Eng.Now()
+			out.RoundsAtCrash = sch.Stats().Rounds
+			m.CrashNode(node)
+			m.Eng.After(settle, func() {
+				st := sch.Stats()
+				out.Elections = st.Elections
+				switch {
+				case st.RoundsAdopted > 0:
+					out.Resolution = "adopted"
+				case st.RoundsAborted > 0:
+					out.Resolution = "aborted"
+				case v.Failover():
+					out.Resolution = "none in flight"
+				default:
+					out.Resolution = "stalled"
+				}
+				m.CrashAll()
+				m.Eng.After(repair, func() {
+					w2, rep = ckpt.Recover(m, v, opt, factory)
+				})
+			})
+		},
+	}
+	plan.Arm(m)
+	if err := m.Run(); err != nil {
+		return out, err
+	}
+	if out.CrashAt == 0 {
+		return out, fmt.Errorf("bench: kill at %q never fired under %s", phase, v)
+	}
+	if rep == nil || !rep.Done.Opened() {
+		return out, fmt.Errorf("bench: recovery did not complete after kill at %q under %s", phase, v)
+	}
+	progs := make([]mp.Program, m.NumNodes())
+	for rank := range progs {
+		progs[rank] = w2.Envs[rank].Node().Snap.(mp.Program)
+	}
+	if err := wl.Check(progs); err != nil {
+		return out, fmt.Errorf("bench: results diverged after failover recovery: %w", err)
+	}
+	out.Round = rep.Round
+	out.Exec = sim.Duration(m.AppsFinished)
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestFailoverExperimentParallelDeterminism: E15's tables are assembled from
+// per-cell results indexed by lattice position, so the rendered output must
+// be byte-identical whether the cells ran serially or raced over 8 workers.
+func TestFailoverExperimentParallelDeterminism(t *testing.T) {
+	cfg := par.DefaultConfig()
+	var serial, parallel bytes.Buffer
+	if err := FailoverExperiment(&serial, cfg, true, NewRunner(1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := FailoverExperiment(&parallel, cfg, true, NewRunner(8, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("E15 output differs between -parallel 1 and -parallel 8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+	if serial.Len() == 0 {
+		t.Fatal("E15 produced no output")
+	}
+	for _, want := range []string{"Coord_NB_FT", "adopted", "aborted", "precommit"} {
+		if !strings.Contains(serial.String(), want) {
+			t.Fatalf("E15 output missing %q:\n%s", want, serial.String())
+		}
+	}
+}
+
+// TestFailoverExperimentBadPhase: a kill-window typo must fail before any
+// cell runs, naming the bad value and the accepted ones.
+func TestFailoverExperimentBadPhase(t *testing.T) {
+	var out bytes.Buffer
+	err := FailoverExperimentPhase(&out, par.DefaultConfig(), true, nil, "bogus")
+	if err == nil {
+		t.Fatal("FailoverExperimentPhase(\"bogus\") = nil, want an error")
+	}
+	for _, want := range []string{"bogus", "precommit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if out.Len() != 0 {
+		t.Fatalf("a rejected phase still produced output:\n%s", out.String())
+	}
+	for _, phase := range KillPhases {
+		if err := ValidKillPhase(phase); err != nil {
+			t.Errorf("ValidKillPhase(%q) = %v, want nil", phase, err)
+		}
+	}
+}

@@ -21,9 +21,11 @@ const (
 	// quick-v2 extended quick-v1 with one 64-node/4-server sharded-storage
 	// cell (the topology subsystem's scaling hot path). quick-v3 added the
 	// incremental scheme Indep_INC to the quick scheme set (the delta-codec
-	// and dirty-tracker hot paths); BENCH_baseline.json was regenerated at
-	// each bump.
-	PerfMatrixQuick = "quick-v3"
+	// and dirty-tracker hot paths). quick-v4 added Coord_NB_FT (the
+	// three-phase commit and heartbeat paths the failover subsystem keeps hot
+	// even in fault-free runs); BENCH_baseline.json was regenerated at each
+	// bump.
+	PerfMatrixQuick = "quick-v4"
 )
 
 // perfWorkloads returns the pinned workload set: one representative per
@@ -50,10 +52,11 @@ func perfWorkloads(quick bool) []apps.Workload {
 // CIC variants — the protocol mix that exercises every engine hot path
 // (markers, piggybacks, logging, storage traffic). The quick set carries one
 // incremental scheme so the delta codec and dirty tracker stay on the
-// measured hot path.
+// measured hot path, and the fault-tolerant coordinated variant so the
+// pre-commit round trip and heartbeat timers are measured too.
 func perfSchemes(quick bool) []ckpt.Variant {
 	if quick {
-		return []ckpt.Variant{ckpt.CoordNBMS, ckpt.Indep, ckpt.IndepInc, ckpt.CICM}
+		return []ckpt.Variant{ckpt.CoordNBMS, ckpt.CoordNBFT, ckpt.Indep, ckpt.IndepInc, ckpt.CICM}
 	}
 	return []ckpt.Variant{ckpt.CoordB, ckpt.CoordNBMS, ckpt.Indep, ckpt.IndepM, ckpt.CIC, ckpt.CICM}
 }

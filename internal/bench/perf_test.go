@@ -25,9 +25,9 @@ func TestRunPerfQuickMatrix(t *testing.T) {
 	if rep.Matrix != PerfMatrixQuick || rep.Stamp != "20260807T000000Z" || rep.Parallel != 1 {
 		t.Fatalf("report header: %+v", rep)
 	}
-	// 2 workloads x (1 fault-free baseline + quick-v3's 4 schemes), plus
+	// 2 workloads x (1 fault-free baseline + quick-v4's 5 schemes), plus
 	// the 64-node/4-server scaling cell (its baseline + 1 scheme).
-	wantCells := 2*(1+4) + 2
+	wantCells := 2*(1+5) + 2
 	if rep.Totals.Cells != wantCells || len(rep.Cells) != wantCells {
 		t.Fatalf("cells = %d (%d reports), want %d", rep.Totals.Cells, len(rep.Cells), wantCells)
 	}

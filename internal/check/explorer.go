@@ -16,11 +16,14 @@ import (
 // ExplorerSchemes is the full scheme matrix the explorer sweeps: every
 // variant of the three protocol families the simulator implements (the
 // paper's Table 1 columns plus the CIC family), including each family's
-// incremental variant. The crash strata fall at arbitrary points of the run,
-// so incremental cells routinely crash between a base and its dependent
-// deltas — the chain-reassembly path recovery then exercises.
+// incremental variant and the fault-tolerant coordinated pair. The crash
+// strata fall at arbitrary points of the run, so incremental cells routinely
+// crash between a base and its dependent deltas — the chain-reassembly path
+// recovery then exercises — and failover cells crash with the failure
+// detector and the pre-commit phase live.
 var ExplorerSchemes = []ckpt.Variant{
 	ckpt.CoordNB, ckpt.CoordNBM, ckpt.CoordNBMS, ckpt.CoordNBInc,
+	ckpt.CoordNBFT, ckpt.CoordNBFTInc,
 	ckpt.Indep, ckpt.IndepM, ckpt.IndepInc,
 	ckpt.CIC, ckpt.CICM, ckpt.CICInc,
 }
@@ -41,10 +44,18 @@ type SweepConfig struct {
 	// top of the oracle's own stratified crash. The sharded-storage sweep
 	// uses it to take individual storage servers down mid-run.
 	FaultPlan func(seed uint64, horizon sim.Duration) *faults.Plan
+
+	// KillPhases, when non-empty, replaces the crash-stratum axis with a
+	// coordinator-kill axis: each cell kills rank 0 inside one named
+	// protocol window (see CellSpec.KillPhase) instead of crashing every
+	// node at a stratified instant. Phases a scheme never announces are
+	// skipped per scheme — the plain coordinated variants have no
+	// "precommit" window.
+	KillPhases []string
 }
 
-// QuickSweep is the CI matrix: 2 workloads x 10 schemes x 4 crash strata x 4
-// seeds = 320 cells, every scheme family crashed in every quarter of its
+// QuickSweep is the CI matrix: 2 workloads x 12 schemes x 4 crash strata x 4
+// seeds = 384 cells, every scheme family crashed in every quarter of its
 // run. The workloads are deliberately small — the sweep's power comes from
 // the number of (scheme, crash point, seed) combinations, not from long
 // runs.
@@ -63,7 +74,7 @@ func QuickSweep(cfg par.Config) SweepConfig {
 
 // FullSweep is the overnight matrix: more workloads (including a larger
 // state footprint, which shifts checkpoint timing and storage contention),
-// more strata, more seeds — 3 x 10 x 6 x 8 = 1440 cells.
+// more strata, more seeds — 3 x 12 x 6 x 8 = 1728 cells.
 func FullSweep(cfg par.Config) SweepConfig {
 	return SweepConfig{
 		Cfg: cfg,
@@ -126,6 +137,37 @@ func ShardSweep(cfg par.Config) SweepConfig {
 	}
 }
 
+// FailoverPhases is the coordinator-kill axis, shared with the E15
+// experiment: every window of the coordinated round in announcement order.
+// The plain variants never announce "precommit" (only the fault-tolerant
+// pair runs the third phase), so the lattice drops that phase for them.
+var FailoverPhases = bench.KillPhases
+
+// FailoverSweep is the coordinator-crash matrix: the ring workload under the
+// fault-tolerant coordinated pair plus plain Coord_NB as the
+// recovery-through-full-restart baseline, rank 0 killed inside every
+// protocol window, two seeds jittering the kill to different depths of each
+// window. For the failover schemes every cell must see the interrupted
+// round either completed by the elected successor or aborted with no
+// partial durable state, and the recovered run must reproduce the
+// fault-free baseline byte for byte. The workload's iteration count differs
+// from the other sweeps' rings so cell names stay unique across the
+// combined lattices. 1 app x (5 + 5 + 4) scheme-phase rows x 2 seeds = 28
+// cells.
+func FailoverSweep(cfg par.Config) SweepConfig {
+	return SweepConfig{
+		Cfg: cfg,
+		Apps: []apps.Workload{
+			bench.RingWorkload(384, 40, 2e5),
+		},
+		Schemes: []ckpt.Variant{
+			ckpt.CoordNBFT, ckpt.CoordNBFTInc, ckpt.CoordNB,
+		},
+		KillPhases: FailoverPhases,
+		Seeds:      2,
+	}
+}
+
 // SweepReport summarizes a completed sweep.
 type SweepReport struct {
 	Cells     int   // cells executed cleanly
@@ -143,6 +185,20 @@ func (cfg SweepConfig) Cells() ([]bench.Cell, []CellSpec) {
 	var specs []CellSpec
 	for _, wl := range cfg.Apps {
 		for _, v := range cfg.Schemes {
+			if len(cfg.KillPhases) > 0 {
+				// Coordinator-kill lattice: Rep encodes (phase ordinal, seed
+				// ordinal) so a cell name still replays bit-identically.
+				for pi, phase := range cfg.KillPhases {
+					if phase == "precommit" && !v.Failover() {
+						continue // window the plain variants never announce
+					}
+					for s := 0; s < cfg.Seeds; s++ {
+						cells = append(cells, bench.Cell{App: wl.Name, Scheme: v.String(), Rep: pi*cfg.Seeds + s})
+						specs = append(specs, CellSpec{Workload: wl, Scheme: v, KillPhase: phase, FaultPlan: cfg.FaultPlan})
+					}
+				}
+				continue
+			}
 			for point := 0; point < cfg.Points; point++ {
 				for s := 0; s < cfg.Seeds; s++ {
 					cells = append(cells, bench.Cell{App: wl.Name, Scheme: v.String(), Rep: point*cfg.Seeds + s})

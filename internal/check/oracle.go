@@ -44,6 +44,17 @@ type CellSpec struct {
 	// baseline run stays unarmed — it defines what the faulted run must
 	// still reproduce.
 	FaultPlan func(seed uint64, horizon sim.Duration) *faults.Plan
+
+	// KillPhase, when set, replaces the stratified total crash with a
+	// targeted coordinator kill: rank 0 is crashed inside the named protocol
+	// window (the first announcement of this phase, pushed a seed-drawn
+	// jitter into the window), the failover schemes' election then resolves
+	// the interrupted round, and only after a settle window covering
+	// detection plus the vote wait are the survivors crashed and the machine
+	// recovered — so the equivalence check also holds whatever the successor
+	// decided (complete or abort) against the fault-free baseline. Point and
+	// Points are ignored.
+	KillPhase string
 }
 
 // CellResult summarizes a clean cell for reporting.
@@ -172,7 +183,12 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 		// dependency-graph invariants.
 		opt.Spread = interval / sim.Duration(2*n)
 	}
-	res.CrashAt = crashPoint(spec, b.exec)
+	if spec.Scheme.Failover() {
+		opt.Failover = ckpt.DefaultFailoverConfig()
+	}
+	if spec.KillPhase == "" {
+		res.CrashAt = crashPoint(spec, b.exec)
+	}
 
 	// The sampler covers the cell machine only (the cached baseline is shared
 	// across cells); registered before the Shutdown defer so its Finish —
@@ -215,17 +231,7 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 	if repair < 1 {
 		repair = 1
 	}
-	m.Eng.At(res.CrashAt, func() {
-		if m.AppsLive() == 0 {
-			// The scheme's overhead was below the stratum's draw and the run
-			// already finished; the cell degrades to a fault-free
-			// equivalence check.
-			return
-		}
-		m.Obs.InstantArg(0, obs.TidCoord, "check.crash", "at_us", int64(res.CrashAt))
-		m.Obs.Add(0, "check.crashes", 1)
-		m.CrashAll()
-		res.Recovered = true
+	recoverAll := func() {
 		m.Eng.After(repair, func() {
 			m.Eng.Spawn("check-settle", func(p *sim.Proc) {
 				// The storage server outlives the crash and keeps draining
@@ -244,7 +250,24 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 				sp.End()
 			})
 		})
-	})
+	}
+	if spec.KillPhase != "" {
+		o.armCoordKill(m, spec, &res, interval, recoverAll)
+	} else {
+		m.Eng.At(res.CrashAt, func() {
+			if m.AppsLive() == 0 {
+				// The scheme's overhead was below the stratum's draw and the run
+				// already finished; the cell degrades to a fault-free
+				// equivalence check.
+				return
+			}
+			m.Obs.InstantArg(0, obs.TidCoord, "check.crash", "at_us", int64(res.CrashAt))
+			m.Obs.Add(0, "check.crashes", 1)
+			m.CrashAll()
+			res.Recovered = true
+			recoverAll()
+		})
+	}
 
 	if err := m.Run(); err != nil {
 		return res, fmt.Errorf("crash at %v: %w", res.CrashAt, err)
@@ -271,6 +294,51 @@ func (o *Oracle) RunCell(spec CellSpec) (CellResult, error) {
 		return res, fmt.Errorf("crash at %v: %w", res.CrashAt, err)
 	}
 	return res, nil
+}
+
+// armCoordKill arms a KillPhase cell's targeted coordinator crash: rank 0
+// dies at the first announcement of the named protocol phase. The wide
+// windows — "round" (the checkpoint writes) and "commit" (ordinary
+// execution until the next round) — are additionally pushed up to a quarter
+// checkpoint interval deep by the cell seed's dedicated target stream, so
+// different seeds crash at different depths while each cell stays
+// reproducible; the mid-protocol windows ("acks", "precommit", "meta") are
+// only message-latencies wide, so those kills fire at the announcement
+// itself — jitter would throw them past the window and blur which
+// resolution the cell pins. The workload cannot finish
+// without rank 0; after a settle window sized to the failure detector's
+// worst case (rank 1's suspicion deadline plus the election vote wait, with
+// slack for the successor's round-record write) the survivors are crashed
+// and the standard recovery driver takes over, so the equivalence check
+// holds whatever the successor decided — completed or aborted round —
+// against the fault-free baseline. If the run finishes before the phase ever
+// fires, the cell degrades to a fault-free equivalence check.
+func (o *Oracle) armCoordKill(m *par.Machine, spec CellSpec, res *CellResult,
+	interval sim.Duration, recoverAll func()) {
+	fo := ckpt.DefaultFailoverConfig()
+	settle := fo.Timeout + fo.ElectWait + 2*sim.Second
+	var jitter sim.Duration
+	if spec.KillPhase == "round" || spec.KillPhase == "commit" {
+		jitter = interval / 4
+	}
+	plan := faults.Plan{
+		Seed: spec.Seed,
+		Targets: []faults.TargetedCrash{
+			{Rank: 0, Phase: spec.KillPhase, JitterMax: jitter},
+		},
+		OnCrash: func(node int) {
+			res.CrashAt = m.Eng.Now()
+			m.Obs.InstantArg(node, obs.TidCoord, "check.kill", "at_us", int64(res.CrashAt))
+			m.Obs.Add(node, "check.crashes", 1)
+			m.CrashNode(node)
+			res.Recovered = true
+			m.Eng.After(settle, func() {
+				m.CrashAll()
+				recoverAll()
+			})
+		},
+	}
+	plan.Arm(m)
 }
 
 // settleStorage returns once every stable-storage server has drained every

@@ -426,6 +426,8 @@ func TestVariantStringAndPredicates(t *testing.T) {
 		{CoordNBInc, "Coord_NB_INC", true, false},
 		{IndepInc, "Indep_INC", false, false},
 		{CICInc, "CIC_INC", false, false},
+		{CoordNBFT, "Coord_NB_FT", true, false},
+		{CoordNBFTInc, "Coord_NB_FT_INC", true, false},
 	}
 	for _, c := range cases {
 		if c.v.String() != c.name {
@@ -436,6 +438,9 @@ func TestVariantStringAndPredicates(t *testing.T) {
 		}
 		if inc := c.v.Incremental(); inc != strings.HasSuffix(c.name, "_INC") {
 			t.Errorf("%v Incremental() = %v", c.v, inc)
+		}
+		if fo := c.v.Failover(); fo != strings.Contains(c.name, "_FT") {
+			t.Errorf("%v Failover() = %v", c.v, fo)
 		}
 	}
 	// String and ParseVariant are derived from one table; every name must

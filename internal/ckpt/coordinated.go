@@ -60,6 +60,15 @@ type coordinated struct {
 	retryPending   bool // an aborted round is waiting out its backoff
 	abortStreak    int  // consecutive aborts of the current round number
 
+	// Failover state (fault-tolerant variants only; inert otherwise).
+	// coordID is the acting coordinator's rank: 0 until a takeover, the
+	// elected successor after one. preAcks collects the pre-commit phase's
+	// confirmations; electAcks the survivors' votes during an election.
+	fo        *FailoverConfig
+	coordID   int
+	preAcks   map[int]bool
+	electAcks map[int]msgElectAck
+
 	stats   Stats
 	records []Record
 	pending []Record // records of the in-flight round, promoted at commit
@@ -108,6 +117,10 @@ func (s *coordinated) Attach(m *par.Machine) {
 		}
 		s.nodes[nodeID].onAppExit()
 	})
+	if s.v.Failover() && s.opt.Failover != nil {
+		s.fo = s.opt.Failover
+		s.armFailover()
+	}
 	m.Eng.After(s.opt.firstAt(), s.startRound)
 }
 
@@ -122,7 +135,11 @@ func (s *coordinated) EnqueueJob(rank int, job func(p *sim.Proc)) {
 // coordinator's periodic timer does); if a round is still in flight when the
 // timer fires, the next round starts right after its commit.
 func (s *coordinated) startRound() {
-	if s.stopped {
+	if s.stopped || s.coordID != 0 {
+		// After a takeover the successor only resolves the interrupted round;
+		// it never initiates new ones — the failed coordinator's node cannot
+		// participate until a full recovery restarts the machine, so any new
+		// round would hang waiting for its ack forever.
 		return
 	}
 	if s.opt.MaxCheckpoints > 0 && s.round-s.opt.StartRound >= s.opt.MaxCheckpoints {
@@ -149,11 +166,12 @@ func (s *coordinated) initiateRound(round int) {
 	s.pending = nil
 	s.roundSpan = s.m.Obs.Start(0, obs.TidCoord, "ckpt.round").WithArg("round", int64(round))
 	s.m.Obs.Add(0, "ckpt.marker_rounds", 1)
-	coord := s.m.Nodes[0]
+	coord := s.m.Nodes[s.coordID]
 	for i := range s.nodes {
 		s.proto(1)
 		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCkptReq{Round: round, Attempt: s.attempt}, sizeCtl)
 	}
+	s.m.NotePhase("round", round)
 }
 
 // onNack runs at the coordinator when a participant reports that its durable
@@ -179,10 +197,11 @@ func (s *coordinated) abortRound() {
 	s.roundSpan = obs.Span{}
 	s.pending = nil
 	s.commitBusy = false
+	s.preAcks = nil
 	s.round = s.committedRound
 	s.retryPending = true
 	s.abortStreak++
-	coord := s.m.Nodes[0]
+	coord := s.m.Nodes[s.coordID]
 	for i := range s.nodes {
 		s.proto(1)
 		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgAbort{Round: round, Attempt: attempt}, sizeCtl)
@@ -227,9 +246,21 @@ func (s *coordinated) onAck(ackRound, ackAttempt, from int) {
 	if len(s.acks) < len(s.nodes) || s.commitBusy {
 		return
 	}
-	// Phase 2: durably record the round (the commit point), then broadcast.
 	s.commitBusy = true
 	round, attempt := s.round, s.attempt
+	s.m.NotePhase("acks", round)
+	if s.v.Failover() {
+		// Phase 2 of the fault-tolerant protocol: broadcast pre-commit and
+		// collect every pre-ack before touching the round record. A targeted
+		// crash fired by the announcement above kills the coordinator right
+		// here; the round then resolves through the election instead.
+		if !s.m.Nodes[s.coordID].Alive {
+			return
+		}
+		s.preCommitRound(round, attempt)
+		return
+	}
+	// Phase 2: durably record the round (the commit point), then broadcast.
 	s.nodes[0].jobs.Put(func(p *sim.Proc) {
 		w := newMetaRecord(round)
 		reply := s.nodes[0].n.StorageCallRetry(p, storage.Request{
@@ -244,12 +275,14 @@ func (s *coordinated) onAck(ackRound, ackAttempt, from int) {
 			s.abortRound()
 			return
 		}
+		s.m.NotePhase("meta", round)
 		s.commitRound(round, attempt)
 	})
 }
 
 func (s *coordinated) commitRound(round, attempt int) {
 	s.commitBusy = false
+	s.preAcks = nil
 	s.committedRound = round
 	s.abortStreak = 0
 	committed := s.pending
@@ -263,11 +296,12 @@ func (s *coordinated) commitRound(round, attempt int) {
 	if s.commitHook != nil {
 		s.commitHook(committed)
 	}
-	coord := s.m.Nodes[0]
+	coord := s.m.Nodes[s.coordID]
 	for i := range s.nodes {
 		s.proto(1)
 		coord.Send(nil, fabric.NodeID(i), par.PortDaemon, msgCommit{Round: round, Attempt: attempt}, sizeCtl)
 	}
+	s.m.NotePhase("commit", round)
 	if s.pendingStart {
 		s.pendingStart = false
 		s.startRound()
@@ -290,6 +324,16 @@ type coordNode struct {
 	chanBytes    int // durable channel-log size of the active round
 
 	stateWritten, chanQueued, chanWritten, acked bool
+
+	// Failover participant state. coordRank is where acks and nacks go: 0
+	// until a takeover announcement redirects it to the successor.
+	// precommitted records that this node saw the round's pre-commit — the
+	// vote that lets a successor finish the round. lastBeat is the arrival
+	// time of the acting coordinator's most recent heartbeat (or takeover
+	// announcement); the monitor timer measures silence against it.
+	coordRank    int
+	precommitted bool
+	lastBeat     sim.Time
 
 	appGate   *sim.Gate // blocks the application in B and NB
 	tokenGate *sim.Gate // staggering token (NBMS)
@@ -381,6 +425,28 @@ func (cn *coordNode) hook(env *fabric.Envelope) bool {
 	case msgNack:
 		cn.s.onNack(msg.Round, msg.Attempt)
 		return true
+	case msgPreCommit:
+		// Pre-commit is broadcast only after every ack, so an in-round node
+		// has necessarily acked; anything else is stale traffic.
+		if cn.round == msg.Round && cn.attempt == msg.Attempt && cn.acked {
+			cn.precommitted = true
+			cn.s.proto(1)
+			cn.n.Send(nil, fabric.NodeID(cn.coordRank), par.PortDaemon,
+				msgPreAck{Round: msg.Round, Attempt: msg.Attempt, From: cn.n.ID}, sizeCtl)
+		}
+		return true
+	case msgPreAck:
+		cn.s.onPreAck(msg.Round, msg.Attempt, msg.From)
+		return true
+	case msgHeartbeat:
+		cn.onHeartbeat(msg.From)
+		return true
+	case msgElect:
+		cn.onElect(msg.From)
+		return true
+	case msgElectAck:
+		cn.s.onElectAck(msg)
+		return true
 	case *mp.Message:
 		return cn.hookAppMsg(env, msg)
 	}
@@ -416,6 +482,7 @@ func (cn *coordNode) finishRound() {
 		cn.pendingImg = nil
 	}
 	cn.round = 0
+	cn.precommitted = false
 	if cn.s.v == CoordB && cn.appGate != nil {
 		cn.appGate.Open()
 	}
@@ -441,6 +508,7 @@ func (cn *coordNode) abortLocal() {
 	cn.stateBuf = nil
 	cn.pendingImg = nil // the retry re-diffs against the last committed image
 	cn.round = 0
+	cn.precommitted = false
 	if cn.appGate != nil {
 		cn.appGate.Open()
 	}
@@ -464,6 +532,7 @@ func (cn *coordNode) beginRound(round, attempt int) {
 	cn.stateBuf = nil
 	cn.chanBytes = 0
 	cn.stateWritten, cn.chanQueued, cn.chanWritten, cn.acked = false, false, false, false
+	cn.precommitted = false
 	cn.appGate = sim.NewGate(cn.n.M.Eng)
 	cn.tokenGate = sim.NewGate(cn.n.M.Eng)
 	cn.syncSpan = cn.s.m.Obs.Start(cn.n.ID, obs.TidProto, "ckpt.sync").WithArg("round", int64(round))
@@ -579,8 +648,8 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 		return
 	}
 	switch s.v {
-	case CoordB, CoordNB, CoordNBInc:
-		cn.appGate.Wait(p) // opened on write completion (NB/NB_INC) or commit (B)
+	case CoordB, CoordNB, CoordNBInc, CoordNBFT, CoordNBFTInc:
+		cn.appGate.Wait(p) // opened on write completion (NB family) or commit (B)
 	}
 	blockedSpan.End()
 	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
@@ -611,7 +680,7 @@ func (cn *coordNode) writeStateJob(round, attempt int, state []byte, stateBytes,
 			if cn.round == round && cn.attempt == attempt {
 				s.m.Obs.Add(cn.n.ID, "faults.ckpt_write_failed", 1)
 				s.proto(1)
-				cn.n.Send(p, 0, par.PortDaemon, msgNack{Round: round, Attempt: attempt, From: cn.n.ID}, sizeCtl)
+				cn.n.Send(p, fabric.NodeID(cn.coordRank), par.PortDaemon, msgNack{Round: round, Attempt: attempt, From: cn.n.ID}, sizeCtl)
 			}
 			return
 		}
@@ -628,7 +697,7 @@ func (cn *coordNode) writeStateJob(round, attempt int, state []byte, stateBytes,
 			ChanBytes: cn.chanBytes, Prev: prev,
 		})
 		cn.stateWritten = true
-		if s.v == CoordNB || s.v == CoordNBInc {
+		if s.v == CoordNB || s.v == CoordNBInc || s.v.Failover() {
 			appGate.Open()
 		}
 		if s.v == CoordNBMS {
@@ -708,11 +777,11 @@ func (cn *coordNode) maybeFinishLogging() {
 	})
 }
 
-// nack reports a persistent durable-write failure to the coordinator.
+// nack reports a persistent durable-write failure to the acting coordinator.
 func (cn *coordNode) nack(p *sim.Proc, round, attempt int) {
 	cn.s.m.Obs.Add(cn.n.ID, "faults.ckpt_write_failed", 1)
 	cn.s.proto(1)
-	cn.n.Send(p, 0, par.PortDaemon, msgNack{Round: round, Attempt: attempt, From: cn.n.ID}, sizeCtl)
+	cn.n.Send(p, fabric.NodeID(cn.coordRank), par.PortDaemon, msgNack{Round: round, Attempt: attempt, From: cn.n.ID}, sizeCtl)
 }
 
 func (cn *coordNode) maybeAck(p *sim.Proc, round int) {
@@ -721,5 +790,5 @@ func (cn *coordNode) maybeAck(p *sim.Proc, round int) {
 	}
 	cn.acked = true
 	cn.s.proto(1)
-	cn.n.Send(p, 0, par.PortDaemon, msgAck{Round: round, Attempt: cn.attempt, From: cn.n.ID}, sizeCtl)
+	cn.n.Send(p, fabric.NodeID(cn.coordRank), par.PortDaemon, msgAck{Round: round, Attempt: cn.attempt, From: cn.n.ID}, sizeCtl)
 }

@@ -74,24 +74,41 @@ const (
 	CoordNBInc
 	IndepInc
 	CICInc
+	// CoordNBFT and CoordNBFTInc are the fault-tolerant coordinated variants:
+	// the two-phase round gains a 3PC-style pre-commit phase (after every ack
+	// the coordinator broadcasts pre-commit and waits for every pre-ack
+	// before durably writing the round record), so a participant that saw
+	// pre-commit proves every rank's files are durable and a successor can
+	// deterministically finish the round, while a round nobody pre-committed
+	// provably has no durable round record and aborts cleanly. Paired with a
+	// heartbeat/timeout coordinator election (Options.Failover; deterministic
+	// rank-order succession, no wall-clock randomness) the variants survive
+	// the one fault the rest of the coordinated family cannot: the
+	// coordinator dying mid-round. CoordNBFT otherwise behaves like CoordNB
+	// (non-blocking, full images, two file slots); CoordNBFTInc like
+	// CoordNBInc (base+delta chains over BaseEvery+1 slots).
+	CoordNBFT
+	CoordNBFTInc
 )
 
 // variantNames is the single source of truth mapping variants to the paper's
 // scheme names; String and ParseVariant are both derived from it so the two
 // directions cannot drift apart when a variant is added.
 var variantNames = map[Variant]string{
-	CoordB:     "Coord_B",
-	CoordNB:    "Coord_NB",
-	CoordNBM:   "Coord_NBM",
-	CoordNBMS:  "Coord_NBMS",
-	Indep:      "Indep",
-	IndepM:     "Indep_M",
-	IndepLog:   "Indep_Log",
-	CIC:        "CIC",
-	CICM:       "CIC_M",
-	CoordNBInc: "Coord_NB_INC",
-	IndepInc:   "Indep_INC",
-	CICInc:     "CIC_INC",
+	CoordB:       "Coord_B",
+	CoordNB:      "Coord_NB",
+	CoordNBM:     "Coord_NBM",
+	CoordNBMS:    "Coord_NBMS",
+	Indep:        "Indep",
+	IndepM:       "Indep_M",
+	IndepLog:     "Indep_Log",
+	CIC:          "CIC",
+	CICM:         "CIC_M",
+	CoordNBInc:   "Coord_NB_INC",
+	IndepInc:     "Indep_INC",
+	CICInc:       "CIC_INC",
+	CoordNBFT:    "Coord_NB_FT",
+	CoordNBFTInc: "Coord_NB_FT_INC",
 }
 
 // variantByName is the inverse of variantNames, built once at init.
@@ -132,7 +149,14 @@ func VariantNames() []string {
 }
 
 // Coordinated reports whether the variant is a coordinated scheme.
-func (v Variant) Coordinated() bool { return v <= CoordNBMS || v == CoordNBInc }
+func (v Variant) Coordinated() bool {
+	return v <= CoordNBMS || v == CoordNBInc || v == CoordNBFT || v == CoordNBFTInc
+}
+
+// Failover reports whether the variant runs the fault-tolerant coordinated
+// protocol: a pre-commit phase plus (when Options.Failover is set) heartbeat
+// monitoring and coordinator election.
+func (v Variant) Failover() bool { return v == CoordNBFT || v == CoordNBFTInc }
 
 // MemBuffered reports whether the variant uses main-memory checkpointing.
 func (v Variant) MemBuffered() bool {
@@ -145,7 +169,7 @@ func (v Variant) CommunicationInduced() bool { return v == CIC || v == CICM || v
 // Incremental reports whether the variant writes base+delta checkpoint
 // chains instead of full images.
 func (v Variant) Incremental() bool {
-	return v == CoordNBInc || v == IndepInc || v == CICInc
+	return v == CoordNBInc || v == IndepInc || v == CICInc || v == CoordNBFTInc
 }
 
 // Options configure a scheme instance.
@@ -183,6 +207,47 @@ type Options struct {
 	// checkpoint would be a correctness bug even though the path is free
 	// again. Ignored by coordinated schemes (they continue via StartRound).
 	StartIndices []int
+
+	// Failover arms heartbeat monitoring and coordinator election on the
+	// fault-tolerant coordinated variants (Variant.Failover). Nil — the
+	// default — disables the daemon side entirely: the variants still run
+	// their pre-commit phase, but no heartbeat or election timer is ever
+	// scheduled, so a run without coordinator crashes is unperturbed by the
+	// machinery that would survive one. Ignored by every other variant.
+	Failover *FailoverConfig
+}
+
+// FailoverConfig parameterizes the fault-tolerant coordinated variants'
+// coordinator-liveness machinery. All periods are virtual time — succession
+// is deterministic under the repo's seeded-sim discipline, with no
+// wall-clock randomness.
+type FailoverConfig struct {
+	// HeartbeatEvery is the acting coordinator's heartbeat period.
+	HeartbeatEvery sim.Duration
+
+	// Timeout is the base heartbeat-silence bound. Rank r suspects the
+	// coordinator after r*Timeout of silence, so suspicion is staggered in
+	// rank order and the lowest surviving rank always wins the election
+	// (its takeover announcement resets every higher rank's silence clock).
+	Timeout sim.Duration
+
+	// ElectWait is how long an elected successor collects election acks
+	// (each survivor's round/attempt, acked and pre-committed flags) before
+	// resolving the in-flight round: completing it if any participant
+	// pre-committed, aborting it otherwise.
+	ElectWait sim.Duration
+}
+
+// DefaultFailoverConfig returns the failover timing the correctness oracle
+// and the E15 experiment arm: heartbeats comfortably inside the suspicion
+// bound (so checkpoint-burst queueing cannot fake a death), and an election
+// window that covers several control-message round trips.
+func DefaultFailoverConfig() *FailoverConfig {
+	return &FailoverConfig{
+		HeartbeatEvery: 250 * sim.Millisecond,
+		Timeout:        1500 * sim.Millisecond,
+		ElectWait:      500 * sim.Millisecond,
+	}
 }
 
 func (o Options) firstAt() sim.Duration {
@@ -240,6 +305,14 @@ type Stats struct {
 	// are excluded from Checkpoints so overhead normalization is not skewed.
 	ForcedCkpts int
 	FinalCkpts  int
+
+	// Failover counters, non-zero only for the fault-tolerant coordinated
+	// variants under a coordinator crash. Elections counts takeover
+	// announcements (heartbeat-silence timers that fired); RoundsAdopted
+	// counts in-flight rounds a successor coordinator completed on behalf of
+	// the failed one (aborted resolutions count under RoundsAborted).
+	Elections     int
+	RoundsAdopted int
 
 	// Fault-degradation counters, non-zero only under injected faults.
 	// RoundsAborted counts coordinated 2PC rounds aborted after a
@@ -373,6 +446,46 @@ type (
 	msgLogTrunc struct {
 		From int
 		UpTo uint64
+	}
+	// msgPreCommit is the fault-tolerant variants' third phase: broadcast by
+	// the coordinator only after EVERY ack, so a participant that receives
+	// it holds proof that all n ranks' round files are durable — the fact a
+	// successor coordinator needs to finish the round without the failed
+	// coordinator's memory.
+	msgPreCommit struct {
+		Round   int
+		Attempt int
+	}
+	// msgPreAck confirms a participant recorded the pre-commit; the
+	// coordinator durably writes the round record (the commit point) only
+	// after every pre-ack, which makes "no participant pre-committed" imply
+	// "the round record was never written" — the abort side of the
+	// successor's termination rule.
+	msgPreAck struct {
+		Round   int
+		Attempt int
+		From    int
+	}
+	// msgHeartbeat is the acting coordinator's periodic liveness signal.
+	msgHeartbeat struct {
+		From int
+	}
+	// msgElect announces a takeover: the sender's heartbeat-silence timer
+	// expired, so it becomes acting coordinator. Receivers redirect their
+	// protocol traffic to it and answer with their round state.
+	msgElect struct {
+		From int
+	}
+	// msgElectAck is a survivor's answer to msgElect: its view of the
+	// in-flight round, whether it acked (own files durable) and whether it
+	// saw pre-commit (everyone's files durable). The successor resolves the
+	// round from these votes after FailoverConfig.ElectWait.
+	msgElectAck struct {
+		From         int
+		Round        int
+		Attempt      int
+		Acked        bool
+		Precommitted bool
 	}
 )
 

@@ -34,6 +34,12 @@ type Config struct {
 	FirstAt        sim.Duration
 	MaxCheckpoints int
 
+	// Failover tunes the fault-tolerant coordinated variants' failure
+	// detector (heartbeat cadence, rank-staggered suspicion timeout,
+	// election vote window). Nil picks ckpt.DefaultFailoverConfig when the
+	// scheme is a failover variant and is ignored otherwise.
+	Failover *ckpt.FailoverConfig
+
 	// SkipCheck disables result verification against the workload oracle.
 	SkipCheck bool
 
@@ -120,10 +126,15 @@ func Run(wl apps.Workload, cfg Config) (Result, error) {
 	}
 	var sch ckpt.Scheme
 	if cfg.CheckpointingOn() {
+		fo := cfg.Failover
+		if fo == nil && cfg.Scheme.Failover() {
+			fo = ckpt.DefaultFailoverConfig()
+		}
 		sch = ckpt.New(cfg.Scheme, ckpt.Options{
 			Interval:       cfg.Interval,
 			FirstAt:        cfg.FirstAt,
 			MaxCheckpoints: cfg.MaxCheckpoints,
+			Failover:       fo,
 		})
 		cfg.Obs.SetScheme(sch.Name())
 		ps.SetScheme(sch.Name())

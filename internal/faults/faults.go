@@ -96,6 +96,25 @@ type Crashes struct {
 	Total        bool         // escalate each crash to a total failure (CrashAll)
 }
 
+// TargetedCrash schedules one surgical crash of a chosen rank, either at a
+// fixed instant (At) or at a protocol phase announcement (Phase, matched
+// against the names schemes pass to par.Machine.NotePhase — e.g. the
+// coordinated family's "round", "acks", "precommit", "meta", "commit").
+// Phase targets fire on the first matching announcement, or only on Round's
+// announcement when Round is nonzero. JitterMax adds a uniform delay drawn
+// from the plan's dedicated target stream, pushing the crash a deterministic
+// distance into the window the phase opens. Unlike the Poisson process a
+// targeted crash fires at most once and schedules no repair; it models the
+// single chosen failure an oracle cell or an E15 grid point studies. The
+// crash action is Machine.CrashNode(Rank), or the plan's OnCrash override.
+type TargetedCrash struct {
+	Rank      int          // node to crash
+	At        sim.Time     // crash instant, when Phase is empty
+	Phase     string       // phase announcement that triggers the crash
+	Round     int          // 0 = first announcement of Phase; else that round only
+	JitterMax sim.Duration // uniform extra delay after the trigger
+}
+
 // Plan is a complete, deterministic fault schedule. The zero value injects
 // nothing. Arm it on a machine before the simulation starts.
 type Plan struct {
@@ -110,6 +129,11 @@ type Plan struct {
 	Storage StorageFaults
 	Links   LinkFaults
 	Crashes Crashes
+
+	// Targets schedules surgical crashes on top of (or instead of) the
+	// Poisson process; they share the crash counters and the OnCrash
+	// override but never repair or reschedule.
+	Targets []TargetedCrash
 
 	// Retry overrides the machine retry policy installed at Arm; the zero
 	// value installs par.DefaultRetryPolicy.
@@ -137,6 +161,7 @@ type Armed struct {
 	linkRand    *rng.RNG
 	crashRand   *rng.RNG
 	retryRand   *rng.RNG
+	targetRand  *rng.RNG
 
 	outages []Window
 	stopped bool
@@ -165,6 +190,11 @@ func (pl Plan) Arm(m *par.Machine) *Armed {
 		linkRand:    rng.New(root.Uint64()),
 		crashRand:   rng.New(root.Uint64()),
 		retryRand:   rng.New(root.Uint64()),
+		// The target stream's seed is drawn unconditionally, after the four
+		// original streams, so plans without targets keep every existing
+		// schedule byte-identical and targeted plans never perturb the
+		// Poisson/storage/link draws.
+		targetRand: rng.New(root.Uint64()),
 	}
 	if pl.Horizon <= 0 {
 		pl.Horizon = DefaultHorizon
@@ -182,6 +212,7 @@ func (pl Plan) Arm(m *par.Machine) *Armed {
 	a.armStorage()
 	a.armLinks()
 	a.armCrashes()
+	a.armTargets()
 
 	// Crash events scheduled beyond the workload's end must not fire into a
 	// finished machine.
@@ -364,6 +395,71 @@ func (a *Armed) scheduleCrash(id int, after sim.Duration) {
 			a.scheduleCrash(id, a.nextGap(cf))
 		})
 	})
+}
+
+// armTargets schedules the plan's targeted crashes: fixed-instant targets as
+// engine events, phase targets through the machine's protocol phase hook
+// (chained after any hook already installed). Each target fires at most
+// once.
+func (a *Armed) armTargets() {
+	targets := a.plan.Targets
+	if len(targets) == 0 {
+		return
+	}
+	fired := make([]bool, len(targets))
+	trigger := func(i int) {
+		if fired[i] {
+			return
+		}
+		fired[i] = true
+		t := targets[i]
+		if t.JitterMax > 0 {
+			d := sim.Duration(a.targetRand.Float64() * float64(t.JitterMax))
+			a.m.Eng.After(d, func() { a.fireTarget(t) })
+			return
+		}
+		a.fireTarget(t)
+	}
+	phased := false
+	for i, t := range targets {
+		if t.Phase != "" {
+			phased = true
+			continue
+		}
+		i := i
+		a.m.Eng.At(t.At, func() { trigger(i) })
+	}
+	if !phased {
+		return
+	}
+	prev := a.m.PhaseHook
+	a.m.PhaseHook = func(phase string, round int) {
+		if prev != nil {
+			prev(phase, round)
+		}
+		for i, t := range targets {
+			if t.Phase == phase && (t.Round == 0 || t.Round == round) {
+				trigger(i)
+			}
+		}
+	}
+}
+
+// fireTarget crashes the target's rank (or runs the plan's OnCrash
+// override). With no jitter a phase target fires synchronously inside the
+// phase announcement, which is exactly the window the oracle wants to hit.
+func (a *Armed) fireTarget(t TargetedCrash) {
+	if a.stopped || a.m.AppsLive() == 0 {
+		return
+	}
+	a.CrashCount++
+	a.m.Obs.Add(t.Rank, "faults.crashes", 1)
+	a.m.Obs.InstantArg(t.Rank, obs.TidProto, "faults.targeted_crash", "node", int64(t.Rank))
+	if a.plan.OnCrash != nil {
+		a.plan.OnCrash(t.Rank)
+		return
+	}
+	a.m.CrashNode(t.Rank)
 }
 
 // CrashTimes derives the first crash instant Arm would schedule for each of

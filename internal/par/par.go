@@ -229,6 +229,16 @@ type Machine struct {
 	// the simulation starts.
 	Obs *obs.Observer
 
+	// PhaseHook, when set, observes protocol phase announcements
+	// (NotePhase): checkpointing schemes name the instants a protocol round
+	// passes through ("round", "acks", "precommit", "meta", "commit") so the
+	// fault-injection layer can schedule targeted crashes inside a chosen
+	// protocol window. The hook runs synchronously in whatever context
+	// announces the phase and must not block or consume virtual time; nil
+	// (the default) makes every announcement a zero-cost branch, so an
+	// unarmed machine's schedule is untouched.
+	PhaseHook func(phase string, round int)
+
 	appsLive  int
 	stopHooks []func()
 	exitHooks []func(nodeID int)
@@ -370,6 +380,15 @@ func (m *Machine) appDone() {
 
 // AppsLive returns the number of running application processes.
 func (m *Machine) AppsLive() int { return m.appsLive }
+
+// NotePhase announces that a protocol phase was entered (coordinated
+// checkpointing names its round phases through here). A nil PhaseHook makes
+// the call free.
+func (m *Machine) NotePhase(phase string, round int) {
+	if m.PhaseHook != nil {
+		m.PhaseHook(phase, round)
+	}
+}
 
 // Run executes the simulation to completion.
 func (m *Machine) Run() error { return m.Eng.Run() }

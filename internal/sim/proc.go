@@ -115,16 +115,17 @@ func (p *Proc) Sleep(d Duration) {
 }
 
 // Kill terminates the process: if it is parked it is woken immediately and
-// unwound; if it has not yet started it never runs. Killing a process does
-// not release resources it holds, so only processes that park while holding
-// no Resource should be killed. Kill may be called from engine context or
-// from another process; killing the running process itself is not allowed.
+// unwound; if it has not yet started it never runs. A process killing itself
+// — which happens when a crash is fired from code the victim is executing,
+// e.g. a targeted coordinator crash inside a protocol phase announcement —
+// takes effect at its next park rather than unwinding the caller mid-frame;
+// crash-aware code must therefore guard continuation on node liveness, not
+// on Kill having unwound. Killing a process does not release resources it
+// holds, so only processes that park while holding no Resource should be
+// killed. Kill may be called from engine context or from any process.
 func (p *Proc) Kill() {
 	if p.done || p.killed {
 		return
-	}
-	if p.eng.running == p {
-		panic("sim: process cannot Kill itself")
 	}
 	p.killed = true
 	p.wake()
