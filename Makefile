@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz vet check bench-perf ci
+.PHONY: build test race fuzz vet check bench-perf alloc-gate ci
 
 build:
 	$(GO) build ./...
@@ -14,14 +14,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short fuzz smoke of the two parsers that consume untrusted bytes: the
-# checkpoint codec round-trip and the scheme-name resolver. The Go fuzzer
-# allows one target per invocation, hence two runs.
+# Short fuzz smoke of the parsers that consume untrusted bytes — the
+# checkpoint codec round-trip and the scheme-name resolver — plus the engine's
+# event-queue differential (4-ary heap vs container/heap reference). The Go
+# fuzzer allows one target per invocation, hence one run each.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/codec -run '^$$' -fuzz FuzzDeltaCodecRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/bench -run '^$$' -fuzz FuzzVariantParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEventQueueOrder -fuzztime $(FUZZTIME)
 
 vet:
 	$(GO) vet ./...
@@ -47,10 +49,21 @@ PERFFLAGS ?=
 bench-perf:
 	$(GO) run ./cmd/chkperf $(PERFFLAGS)
 
+# Allocation gate: the testing.AllocsPerRun zero-pins for the engine, codec
+# and collective hot paths, plus a microbenchmark smoke of the event queue and
+# payload codecs — all under the race detector. A failure here means a change
+# re-introduced steady-state allocation (or broke the queue/codec) before the
+# perf trajectory would have surfaced it.
+alloc-gate:
+	$(GO) test -race -run 'TestAllocs|TestDecodeF64sIntoMatches' ./internal/sim ./internal/codec ./internal/mp
+	$(GO) test -race -run '^$$' -bench . -benchtime 10x ./internal/sim ./internal/codec
+
 # What the GitHub workflow runs (.github/workflows/ci.yml): the full suite
-# under the race detector, plus build, vet, and the fuzz smoke.
+# under the race detector, plus build, vet, the fuzz smoke, and the
+# allocation gate.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz
+	$(MAKE) alloc-gate

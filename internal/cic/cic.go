@@ -141,10 +141,10 @@ func (s *scheme) onAppExit(nodeID int) {
 	cn := s.nodes[nodeID]
 	cn.index++
 	k := cn.index
-	deps, state, lib, prev, img := cn.capture()
+	deps, state, lib, prev, img, scratch := cn.capture()
 	s.stats.FinalCkpts++
 	s.m.Obs.Add(nodeID, "cic.final_ckpts", 1)
-	cn.jobs.Put(cn.writeJob(k, kindFinal, deps, state, lib, nil, prev, img))
+	cn.jobs.Put(cn.writeJob(k, kindFinal, deps, state, lib, nil, prev, img, scratch))
 }
 
 // cicNode is one node's checkpointer.
@@ -201,11 +201,11 @@ func (cn *cicNode) preConsume(p *sim.Proc, src int, meta par.Piggyback) {
 	s := cn.s
 	start := p.Now()
 	cn.index = midx
-	deps, state, lib, prev, img := cn.capture()
+	deps, state, lib, prev, img, scratch := cn.capture()
 	fsp := s.m.Obs.Start(cn.n.ID, obs.TidApp, "cic.forced").WithArg("index", int64(midx))
 	s.m.Obs.Add(cn.n.ID, "cic.forced_ckpts", 1)
 	s.stats.ForcedCkpts++
-	cn.saveBlocking(p, midx, kindForced, deps, state, lib, prev, img)
+	cn.saveBlocking(p, midx, kindForced, deps, state, lib, prev, img, scratch)
 	fsp.End()
 	s.m.Obs.ObserveDur(cn.n.ID, "cic.forced_latency", p.Now().Sub(start))
 	s.m.Obs.ObserveDur(cn.n.ID, "ckpt.blocked_time", p.Now().Sub(start))
@@ -251,10 +251,10 @@ func (a basicAction) Run(p *sim.Proc, n *par.Node) {
 	cn.index++
 	cn.taken++
 	k := cn.index
-	deps, state, lib, prev, img := cn.capture()
+	deps, state, lib, prev, img, scratch := cn.capture()
 	bsp := s.m.Obs.Start(n.ID, obs.TidApp, "ckpt.blocked").WithArg("index", int64(k))
 	s.m.Obs.Add(n.ID, "cic.basic_ckpts", 1)
-	cn.saveBlocking(p, k, kindBasic, deps, state, lib, prev, img)
+	cn.saveBlocking(p, k, kindBasic, deps, state, lib, prev, img, scratch)
 	bsp.End()
 	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
 	s.stats.AppBlocked += p.Now().Sub(start)
@@ -264,7 +264,7 @@ func (a basicAction) Run(p *sim.Proc, n *par.Node) {
 // detached (sorted for determinism), and the application and library states
 // are serialized. Runs in the application's context, like every state
 // capture in the library.
-func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte, prev int, img []byte) {
+func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte, prev int, img []byte, scratch *codec.Writer) {
 	deps = make([]ckpt.Dep, 0, len(cn.deps))
 	for d := range cn.deps {
 		deps = append(deps, d)
@@ -282,18 +282,19 @@ func (cn *cicNode) capture() (deps []ckpt.Dep, state, lib []byte, prev int, img 
 			cn.inc = ckpt.NewIncCapture(par.StatePageSizeOf(cn.n.Snap))
 		}
 		img = state
-		state, prev = cn.inc.Encode(img)
+		scratch = codec.GetWriter()
+		state, prev = cn.inc.EncodeTo(scratch, img)
 	}
 	if cn.n.Lib != nil {
 		lib = cn.n.Lib.Snapshot()
 	}
-	return deps, state, lib, prev, img
+	return deps, state, lib, prev, img, scratch
 }
 
 // saveBlocking performs the variant-dependent blocking part of a checkpoint
 // in the application's context: CIC_M copies the state in memory and writes
 // in the background; CIC parks the application until the write is durable.
-func (cn *cicNode) saveBlocking(p *sim.Proc, k, kind int, deps []ckpt.Dep, state, lib []byte, prev int, img []byte) {
+func (cn *cicNode) saveBlocking(p *sim.Proc, k, kind int, deps []ckpt.Dep, state, lib []byte, prev int, img []byte, scratch *codec.Writer) {
 	s := cn.s
 	if s.v.MemBuffered() {
 		d := cn.n.M.MemCopyTime(len(state))
@@ -301,11 +302,11 @@ func (cn *cicNode) saveBlocking(p *sim.Proc, k, kind int, deps []ckpt.Dep, state
 		p.Sleep(d)
 		msp.End()
 		s.stats.MemCopyTime += d
-		cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, nil, prev, img))
+		cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, nil, prev, img, scratch))
 		return
 	}
 	gate := sim.NewGate(cn.n.M.Eng)
-	cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, gate, prev, img))
+	cn.jobs.Put(cn.writeJob(k, kind, deps, state, lib, gate, prev, img, scratch))
 	gate.Wait(p)
 }
 
@@ -328,8 +329,13 @@ const (
 // for the duration of the outage — the index already jumped, but no durable
 // checkpoint backs it — which is the standard CIC degradation under storage
 // failure; the skip counter surfaces how often it happened.
-func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gate *sim.Gate, prev int, img []byte) func(p *sim.Proc) {
+func (cn *cicNode) writeJob(k, kind int, deps []ckpt.Dep, state, lib []byte, gate *sim.Gate, prev int, img []byte, scratch *codec.Writer) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
+		// state may alias scratch's pooled buffer (incremental captures); it
+		// is embedded (copied) into data below and only its length is read
+		// after that, so the scratch is recycled when the job ends — even by
+		// a crash unwinding it mid-write.
+		defer scratch.Free()
 		s := cn.s
 		var data []byte
 		if s.v.Incremental() {
@@ -435,8 +441,10 @@ func decodeCkpt(b []byte) (index int, deps []ckpt.Dep, state, lib []byte, err er
 	for i := 0; i < n; i++ {
 		deps = append(deps, ckpt.Dep{SrcRank: r.Int(), SrcIndex: r.U64()})
 	}
-	state = r.Bytes8()
-	lib = r.Bytes8()
+	// Borrowed, not copied: CIC files are decoded out of immutable storage
+	// blobs and the state/lib sections are only ever read.
+	state = r.Bytes8Borrow()
+	lib = r.Bytes8Borrow()
 	if r.Err() != nil {
 		return 0, nil, nil, nil, fmt.Errorf("cic: corrupt checkpoint: %v", r.Err())
 	}

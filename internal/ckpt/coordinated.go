@@ -3,6 +3,7 @@ package ckpt
 import (
 	"fmt"
 
+	"repro/internal/codec"
 	"repro/internal/fabric"
 	"repro/internal/mp"
 	"repro/internal/obs"
@@ -599,11 +600,13 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 			cn.inc = NewIncCapture(par.StatePageSizeOf(n.Snap))
 		}
 		img := state
+		scratch := codec.GetWriter()
 		var payload []byte
-		payload, prev = cn.inc.Encode(img)
+		payload, prev = cn.inc.EncodeTo(scratch, img)
 		cn.pendingImg, cn.pendingPrev = img, prev
 		state = encodeIncCkpt(round, prev, nil, payload, nil)
 		stateBytes = len(payload)
+		scratch.Free() // payload embedded (copied) into state above
 	}
 	if s.v.MemBuffered() && p != nil {
 		// Main-memory checkpointing: the application pays only for the copy.
@@ -623,11 +626,11 @@ func (cn *coordNode) takeTentative(p *sim.Proc, round int) {
 	cn.snapshotDone = true
 	// Unconsumed messages already delivered are part of the channel state:
 	// they were sent before their senders' markers.
-	for _, env := range n.AppBox.Items() {
+	n.AppBox.ForEach(func(env *fabric.Envelope) {
 		if m, ok := env.Payload.(*mp.Message); ok && m.Src != n.ID {
 			cn.chanLog = append(cn.chanLog, m)
 		}
-	}
+	})
 	// Post-marker messages held back during the window become visible now.
 	for _, env := range cn.quarantine {
 		n.AppBox.Put(env)

@@ -35,7 +35,7 @@ func decodeChanLog(b []byte) ([]*mp.Message, error) {
 		for k := range m.Meta {
 			m.Meta[k] = r.U64()
 		}
-		m.Data = r.Bytes8()
+		m.Data = r.Bytes8Borrow() // aliases the durable log blob; replayed messages are read-only
 		msgs = append(msgs, m)
 	}
 	if r.Err() != nil {
@@ -99,8 +99,11 @@ func decodeIndepCkpt(b []byte) (index int, deps []Dep, state, lib []byte, err er
 	for i := 0; i < n; i++ {
 		deps = append(deps, Dep{SrcRank: r.Int(), SrcIndex: r.U64()})
 	}
-	state = r.Bytes8()
-	lib = r.Bytes8()
+	// Checkpoint files are decoded out of immutable storage blobs and their
+	// state/lib sections are only ever read (restore paths decode them into
+	// fresh structures), so borrowing instead of copying is safe.
+	state = r.Bytes8Borrow()
+	lib = r.Bytes8Borrow()
 	if r.Err() != nil {
 		return 0, nil, nil, nil, fmt.Errorf("ckpt: corrupt independent checkpoint: %v", r.Err())
 	}

@@ -62,8 +62,10 @@ func decodeIncCkpt(b []byte) (index, prev int, deps []Dep, payload, lib []byte, 
 	for i := 0; i < n; i++ {
 		deps = append(deps, Dep{SrcRank: r.Int(), SrcIndex: r.U64()})
 	}
-	payload = r.Bytes8()
-	lib = r.Bytes8()
+	// Borrowed, not copied: incremental files are decoded out of immutable
+	// storage blobs, and chain replay only reads the payload sections.
+	payload = r.Bytes8Borrow()
+	lib = r.Bytes8Borrow()
 	if r.Err() != nil {
 		return 0, 0, nil, nil, nil, fmt.Errorf("ckpt: corrupt incremental checkpoint: %v", r.Err())
 	}
@@ -108,6 +110,18 @@ func (ic *IncCapture) Encode(img []byte) (payload []byte, prev int) {
 		return ic.tracker.Delta(img), ic.prevIndex
 	}
 	return codec.EncodeBaseImage(img), 0
+}
+
+// EncodeTo is Encode writing the payload into a caller-supplied writer. The
+// schemes pass pooled scratch here: the payload only lives until it is
+// embedded (copied) into the enclosing checkpoint file by encodeIncCkpt, so
+// the writer is freed right after the embed and steady-state incremental
+// capture allocates no payload buffers. The returned bytes alias w's buffer.
+func (ic *IncCapture) EncodeTo(w *codec.Writer, img []byte) (payload []byte, prev int) {
+	if ic.tracker.Primed() && ic.sinceBase < BaseEvery-1 {
+		return ic.tracker.DeltaTo(w, img), ic.prevIndex
+	}
+	return codec.EncodeBaseImageTo(w, img), 0
 }
 
 // Commit records that the checkpoint of img at index, encoded with chain

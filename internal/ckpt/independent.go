@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/fabric"
 	"repro/internal/mp"
 	"repro/internal/obs"
@@ -237,11 +238,13 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 	img := padImage(par.SnapshotAt(n.Snap, k), n.M.Cfg.CkptImageBytes)
 	state := img
 	var prev int
+	var scratch *codec.Writer
 	if s.v.Incremental() {
 		if in.inc == nil {
 			in.inc = NewIncCapture(par.StatePageSizeOf(n.Snap))
 		}
-		state, prev = in.inc.Encode(img)
+		scratch = codec.GetWriter()
+		state, prev = in.inc.EncodeTo(scratch, img)
 	} else {
 		img = nil // full-image write; nothing to retain for diffing
 	}
@@ -265,12 +268,12 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 		blockedSpan.End()
 		s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
 		s.stats.AppBlocked += p.Now().Sub(start)
-		in.jobs.Put(in.writeJob(k, closedDeps, state, lib, nil, prev, img))
+		in.jobs.Put(in.writeJob(k, closedDeps, state, lib, nil, prev, img, scratch))
 		return
 	}
 	// Blocking variant: the application waits for the durable write.
 	gate := sim.NewGate(n.M.Eng)
-	in.jobs.Put(in.writeJob(k, closedDeps, state, lib, gate, prev, img))
+	in.jobs.Put(in.writeJob(k, closedDeps, state, lib, gate, prev, img, scratch))
 	gate.Wait(p)
 	blockedSpan.End()
 	s.m.Obs.ObserveDur(n.ID, "ckpt.blocked_time", p.Now().Sub(start))
@@ -286,8 +289,13 @@ func (a indepAction) Run(p *sim.Proc, n *par.Node) {
 // checkpoint (conservative — the recovery-line search sees a superset of the
 // true edges), the index stays advanced (a sparse index sequence is legal),
 // and the timer re-arms so the node tries again next period.
-func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Gate, prev int, img []byte) func(p *sim.Proc) {
+func (in *indepNode) writeJob(k int, deps []Dep, state, lib []byte, gate *sim.Gate, prev int, img []byte, scratch *codec.Writer) func(p *sim.Proc) {
 	return func(p *sim.Proc) {
+		// state may alias scratch's pooled buffer (incremental captures); it
+		// is embedded (copied) into data below and only its length is read
+		// after that, so the scratch is recycled when the job ends — even by
+		// a crash unwinding it mid-write.
+		defer scratch.Free()
 		s := in.s
 		var data []byte
 		if s.v.Incremental() {

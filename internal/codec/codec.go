@@ -21,6 +21,16 @@ type Writer struct {
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset empties the writer for reuse, retaining its buffer capacity. The
+// next stream is counted toward the perf byte counters independently of the
+// previous one. Slices previously returned by Bytes alias the retained
+// buffer and are invalidated by further writes — resetting is only correct
+// once the previous stream is dead (see GetWriter/Free).
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.counted = false
+}
+
 // Bytes returns the encoded stream. The first call counts the stream toward
 // the armed perf byte counters; appending after reading Bytes leaves the
 // extra bytes uncounted, which no caller does.
@@ -107,6 +117,17 @@ func NewReader(b []byte) *Reader {
 	return &Reader{buf: b}
 }
 
+// Reset points the reader at a new stream, clearing any sticky error, and
+// counts the input toward the armed perf byte counters exactly as NewReader
+// does. It lets a long-lived reader (a zero value or an embedded field)
+// decode repeatedly without allocating.
+func (r *Reader) Reset(b []byte) {
+	countDecoded(len(b))
+	r.buf = b
+	r.off = 0
+	r.err = nil
+}
+
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
 
@@ -163,6 +184,22 @@ func (r *Reader) Bytes8() []byte {
 	return b
 }
 
+// Bytes8Borrow reads a length-prefixed byte slice without copying: the
+// result aliases the reader's input stream. It is the zero-copy variant for
+// decoding out of immutable blobs (stable-storage files and read replies,
+// which are never mutated once written); the caller must treat the result as
+// read-only and must not use it to outlive a mutable input buffer.
+func (r *Reader) Bytes8Borrow() []byte {
+	n := r.Int()
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("bytes")
+		return nil
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b
+}
+
 // String reads a length-prefixed string.
 func (r *Reader) String() string { return string(r.Bytes8()) }
 
@@ -178,6 +215,25 @@ func (r *Reader) F64s() []float64 {
 		vs[i] = r.F64()
 	}
 	return vs
+}
+
+// F64sInto reads a length-prefixed []float64 into dst's storage, growing it
+// only when the capacity is short — the reuse variant for decode paths that
+// drain a stream per iteration (collective fan-ins).
+func (r *Reader) F64sInto(dst []float64) []float64 {
+	n := r.Int()
+	if r.err != nil || n < 0 || r.off+8*n > len(r.buf) {
+		r.fail("[]float64")
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = r.F64()
+	}
+	return dst
 }
 
 // Ints reads a length-prefixed []int.

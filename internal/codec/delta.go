@@ -48,7 +48,13 @@ func IsDeltaImage(payload []byte) bool {
 
 // EncodeBaseImage encodes a full image as a zero-run-compressed base payload.
 func EncodeBaseImage(cur []byte) []byte {
-	w := NewWriter()
+	return EncodeBaseImageTo(NewWriter(), cur)
+}
+
+// EncodeBaseImageTo is EncodeBaseImage writing into a caller-supplied writer
+// (typically pooled scratch: the payload is embedded into an enclosing
+// checkpoint file and the writer freed). The returned bytes alias w's buffer.
+func EncodeBaseImageTo(w *Writer, cur []byte) []byte {
 	w.U64(baseMagic)
 	writeZeroRLE(w, cur)
 	return w.Bytes()
@@ -118,8 +124,14 @@ func pagesEqual(prev []byte, curPage []byte, off int) bool {
 // against exactly len(prev) bytes — ApplyDelta enforces the match, which is
 // what makes a broken chain detectable.
 func EncodeDelta(prev, cur []byte, pageSize int) []byte {
+	return EncodeDeltaTo(NewWriter(), prev, cur, pageSize)
+}
+
+// EncodeDeltaTo is EncodeDelta writing into a caller-supplied writer
+// (typically pooled scratch; see EncodeBaseImageTo). The returned bytes
+// alias w's buffer.
+func EncodeDeltaTo(w *Writer, prev, cur []byte, pageSize int) []byte {
 	dirty := DirtyPages(prev, cur, pageSize)
-	w := NewWriter()
 	w.U64(deltaMagic)
 	w.Int(len(cur))
 	w.Int(len(prev))

@@ -172,6 +172,12 @@ type Network struct {
 	deliver  []Handler
 	seq      uint64
 
+	// pathCache memoizes Path: routes are a pure function of the static
+	// topology, and the hot path asks for the same few (src,dst) pairs once
+	// per message. Cached slices are shared — Path callers iterate, never
+	// mutate.
+	pathCache map[[2]NodeID][][2]NodeID
+
 	// Per-(src,dst) sequencing: packetized messages can overtake each other
 	// in flight, so arrivals are re-ordered before delivery to preserve the
 	// FIFO guarantee the message layer builds on.
@@ -249,10 +255,15 @@ func (n *Network) hostIndex(id NodeID) int { return int(id) - n.nNodes - n.nRout
 
 // Path returns the sequence of directed hops from src to dst along the
 // topology's deterministic route, traversing a host link first/last as
-// needed.
+// needed. The returned slice is memoized and shared across calls — callers
+// must treat it as read-only.
 func (n *Network) Path(src, dst NodeID) [][2]NodeID {
 	if src == dst {
 		return nil
+	}
+	key := [2]NodeID{src, dst}
+	if hops, ok := n.pathCache[key]; ok {
+		return hops
 	}
 	var hops [][2]NodeID
 	cur := src
@@ -272,6 +283,10 @@ func (n *Network) Path(src, dst NodeID) [][2]NodeID {
 	if n.isHost(dst) {
 		hops = append(hops, [2]NodeID{cur, dst})
 	}
+	if n.pathCache == nil {
+		n.pathCache = make(map[[2]NodeID][][2]NodeID)
+	}
+	n.pathCache[key] = hops
 	return hops
 }
 
@@ -312,7 +327,10 @@ func (n *Network) Send(sender *sim.Proc, env *Envelope) {
 		faultDelay, dropped = n.FaultHook(env)
 	}
 	path := n.Path(env.Src, env.Dst)
-	n.eng.Spawn(fmt.Sprintf("courier:%d->%d#%d", env.Src, env.Dst, env.Seq), func(p *sim.Proc) {
+	// The courier's name is a fixed string: process names are read only by
+	// panic reports and the engine's leak dump, and formatting a unique name
+	// per message was a measurable share of steady-state allocation.
+	n.eng.Spawn("courier", func(p *sim.Proc) {
 		for _, hop := range path {
 			l := n.links[hop]
 			remaining := env.Size

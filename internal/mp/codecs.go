@@ -23,8 +23,31 @@ func decodeF64s(b []byte) []float64 {
 // rows around.
 func EncodeF64s(vs []float64) []byte { return encodeF64s(vs) }
 
+// EncodeF64sInto encodes vs into w — pooled or reused scratch — instead of a
+// fresh writer. The returned bytes alias w's buffer, so they must be copied
+// (or fully consumed) before the writer is reset or freed; bytes that ship on
+// the fabric must keep using EncodeF64s, because in-flight and logged message
+// bodies have no trackable death point.
+func EncodeF64sInto(w *codec.Writer, vs []float64) []byte {
+	w.F64s(vs)
+	return w.Bytes()
+}
+
 // DecodeF64s decodes a vector encoded by EncodeF64s.
 func DecodeF64s(b []byte) []float64 { return decodeF64s(b) }
+
+// DecodeF64sInto decodes a vector into dst's storage, growing it only when
+// the capacity is short — the allocation-free variant for fan-in loops that
+// decode one contribution per iteration and fold it away immediately.
+func DecodeF64sInto(dst []float64, b []byte) []float64 {
+	var r codec.Reader
+	r.Reset(b)
+	vs := r.F64sInto(dst)
+	if r.Err() != nil {
+		panic("mp: corrupt float vector: " + r.Err().Error())
+	}
+	return vs
+}
 
 // EncodeInts encodes an []int for application messages.
 func EncodeInts(vs []int) []byte {

@@ -228,6 +228,11 @@ type Env struct {
 	// last sequence number sent to rank d, ssnIn[s] the last consumed from
 	// rank s. Only maintained while the node's LogSend hook is installed.
 	ssnOut, ssnIn []uint64
+
+	// f64Scratch is the rank's reusable decode target for reduction fan-ins:
+	// each contribution is decoded into it, folded into the accumulator, and
+	// dead before the next Recv, so one buffer serves every iteration.
+	f64Scratch []float64
 }
 
 // Size returns the number of ranks in the world.
@@ -443,7 +448,8 @@ func (e *Env) ReduceF64(root int, vals []float64, op func(a, b float64) float64)
 				continue
 			}
 			m := e.Recv(i, tagReduce)
-			other := decodeF64s(m.Data)
+			e.f64Scratch = DecodeF64sInto(e.f64Scratch[:0], m.Data)
+			other := e.f64Scratch
 			for j := range acc {
 				acc[j] = op(acc[j], other[j])
 			}

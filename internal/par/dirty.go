@@ -102,3 +102,12 @@ func (t *DirtyTracker) Delta(cur []byte) []byte {
 	}
 	return codec.EncodeDelta(t.prev, cur, t.pageSize)
 }
+
+// DeltaTo is Delta writing into a caller-supplied writer (typically pooled
+// scratch; the returned bytes alias the writer's buffer).
+func (t *DirtyTracker) DeltaTo(w *codec.Writer, cur []byte) []byte {
+	if !t.Primed() {
+		panic("par: Delta on an unprimed DirtyTracker")
+	}
+	return codec.EncodeDeltaTo(w, t.prev, cur, t.pageSize)
+}

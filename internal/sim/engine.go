@@ -1,34 +1,22 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
 
-// event is a scheduled callback. Events with equal timestamps fire in
-// scheduling order (seq), which keeps the simulation deterministic.
+// event is a scheduled occurrence. Events with equal timestamps fire in
+// scheduling order (seq), which keeps the simulation deterministic. The two
+// payload forms exist so the overwhelmingly common event — "resume process
+// proc" (every Sleep, wake and spawn activation) — is scheduled without
+// allocating a closure: proc non-nil means transfer control to that process,
+// otherwise fn is invoked as a plain callback.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	proc *Proc
+	fn   func()
 }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 
 // Engine is a discrete-event simulation engine. It is not safe for use from
 // multiple goroutines except through the process-handoff protocol managed by
@@ -36,7 +24,7 @@ func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
 	parked  chan struct{}
 	procs   map[int]*Proc
 	nextID  int
@@ -88,13 +76,28 @@ func (e *Engine) Now() Time { return e.now }
 // At schedules fn to run in engine context at virtual time at. Scheduling in
 // the past is an error and panics: the simulation cannot rewind.
 func (e *Engine) At(at Time, fn func()) {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	e.schedule(event{at: at, fn: fn})
+}
+
+// atProc schedules a control transfer to p at virtual time at. It is the
+// allocation-free twin of At(at, func() { e.transfer(p) }), used by the
+// process primitives (Sleep, wake, spawn activation) that account for nearly
+// every event in a simulation.
+func (e *Engine) atProc(at Time, p *Proc) {
+	e.schedule(event{at: at, proc: p})
+}
+
+// schedule assigns the event its sequence number and enqueues it. Scheduling
+// in the past panics: the simulation cannot rewind.
+func (e *Engine) schedule(ev event) {
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", ev.at, e.now))
 	}
 	e.seq++
-	e.events.pushEvent(event{at: at, seq: e.seq, fn: fn})
-	if len(e.events) > e.maxDepth {
-		e.maxDepth = len(e.events)
+	ev.seq = e.seq
+	e.events.push(ev)
+	if e.events.len() > e.maxDepth {
+		e.maxDepth = e.events.len()
 	}
 }
 
@@ -135,11 +138,15 @@ func (d *DeadlockError) Error() string {
 // event queue drains, the process's panic as an error if one panicked, and
 // nil on a clean completion (all processes finished).
 func (e *Engine) Run() error {
-	for len(e.events) > 0 && !e.stopReq {
-		ev := e.events.popEvent()
+	for e.events.len() > 0 && !e.stopReq {
+		ev := e.events.pop()
 		e.pops++
 		e.now = ev.at
-		ev.fn()
+		if ev.proc != nil {
+			e.transfer(ev.proc)
+		} else {
+			ev.fn()
+		}
 	}
 	if e.failure != nil {
 		return e.failure

@@ -55,7 +55,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.At(e.now, func() { e.transfer(p) })
+	e.atProc(e.now, p)
 	return p
 }
 
@@ -101,7 +101,7 @@ func (p *Proc) park() {
 // wake schedules the process to resume at the current virtual time.
 func (p *Proc) wake() {
 	e := p.eng
-	e.At(e.now, func() { e.transfer(p) })
+	e.atProc(e.now, p)
 }
 
 // Sleep suspends the process for virtual duration d.
@@ -110,7 +110,7 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	e := p.eng
-	e.At(e.now.Add(d), func() { e.transfer(p) })
+	e.atProc(e.now.Add(d), p)
 	p.park()
 }
 

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// queue_test.go — differential testing of the engine's 4-ary event queue
+// against refQueue, the retired container/heap implementation. Both are
+// driven with identical schedules and must produce identical pop sequences:
+// (at, seq) is a strict total order, so there is exactly one correct drain
+// order and any divergence is a bug in one of them.
+
+// diffSchedule drives both queues through the same randomized push/pop/peek
+// schedule and fails on the first divergence. Times are drawn from a small
+// range so same-timestamp bursts — the case where FIFO tie-breaking by seq
+// carries all the ordering — are common.
+func diffSchedule(t *testing.T, rng *rand.Rand, ops, timeRange int) {
+	t.Helper()
+	var q eventQueue
+	var ref refQueue
+	var seq uint64
+	for i := 0; i < ops; i++ {
+		if q.len() != ref.len() {
+			t.Fatalf("op %d: len mismatch: queue %d, reference %d", i, q.len(), ref.len())
+		}
+		switch r := rng.Intn(10); {
+		case r < 5 || q.len() == 0: // push
+			seq++
+			e := event{at: Time(rng.Intn(timeRange)), seq: seq}
+			q.push(e)
+			ref.push(e)
+		case r < 9: // pop
+			got, want := q.pop(), ref.pop()
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("op %d: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+					i, got.at, got.seq, want.at, want.seq)
+			}
+		default: // peek
+			got, want := q.peek(), ref.peek()
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("op %d: peek mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+					i, got.at, got.seq, want.at, want.seq)
+			}
+		}
+	}
+	// Drain both and compare the tails.
+	for q.len() > 0 {
+		got, want := q.pop(), ref.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if ref.len() != 0 {
+		t.Fatalf("drain: reference still holds %d events", ref.len())
+	}
+}
+
+// TestEventQueueDifferential cross-checks the 4-ary queue against the
+// container/heap reference over many seeds and schedule shapes, including
+// degenerate all-same-timestamp schedules where only seq orders the drain.
+func TestEventQueueDifferential(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		diffSchedule(t, rng, 2000, 1+rng.Intn(100))
+	}
+	// All events at one instant: pure FIFO by seq.
+	diffSchedule(t, rand.New(rand.NewSource(99)), 2000, 1)
+}
+
+// TestEventQueueSortOrder verifies the drain order against an independent
+// oracle — sort.Slice over the same events — rather than the reference heap,
+// so a shared misconception between the two heaps cannot hide.
+func TestEventQueueSortOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	var all []event
+	for i := 0; i < 3000; i++ {
+		e := event{at: Time(rng.Intn(50)), seq: uint64(i + 1)}
+		q.push(e)
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].before(all[j]) })
+	for i, want := range all {
+		got := q.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop %d: got (at=%d seq=%d), want (at=%d seq=%d)",
+				i, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue still holds %d events after full drain", q.len())
+	}
+}
+
+// FuzzEventQueueOrder feeds arbitrary byte strings as push/pop/peek schedules
+// to both queue implementations and requires identical behaviour. Each input
+// byte is one operation: the low bit chooses push vs pop/peek and the high
+// bits give the event time, so the fuzzer controls the exact interleaving and
+// can manufacture same-timestamp bursts at will.
+func FuzzEventQueueOrder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 2, 4, 1, 1, 1})
+	f.Add([]byte{8, 8, 8, 8, 1, 1, 1, 1}) // one instant, FIFO drain
+	f.Add([]byte{250, 4, 128, 64, 1, 3, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q eventQueue
+		var ref refQueue
+		var seq uint64
+		for i, b := range data {
+			if b&1 == 0 || q.len() == 0 { // push
+				seq++
+				e := event{at: Time(b >> 1), seq: seq}
+				q.push(e)
+				ref.push(e)
+			} else if b&2 == 0 { // pop
+				got, want := q.pop(), ref.pop()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("op %d: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+						i, got.at, got.seq, want.at, want.seq)
+				}
+			} else { // peek
+				got, want := q.peek(), ref.peek()
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("op %d: peek mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+						i, got.at, got.seq, want.at, want.seq)
+				}
+			}
+			if q.len() != ref.len() {
+				t.Fatalf("op %d: len mismatch: queue %d, reference %d", i, q.len(), ref.len())
+			}
+		}
+		var last event
+		for n := 0; q.len() > 0; n++ {
+			got, want := q.pop(), ref.pop()
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("drain: pop mismatch: queue (at=%d seq=%d), reference (at=%d seq=%d)",
+					got.at, got.seq, want.at, want.seq)
+			}
+			if n > 0 && got.before(last) {
+				t.Fatalf("drain: order violation: (at=%d seq=%d) popped after (at=%d seq=%d)",
+					got.at, got.seq, last.at, last.seq)
+			}
+			last = got
+		}
+	})
+}

@@ -384,3 +384,122 @@ func TestDurationString(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineStatsCounters pins the event-loop counters against a schedule
+// with a known shape: Pushes counts every scheduled event, Pops only what Run
+// executed, and MaxQueueDepth is the high-water mark of the pending queue.
+func TestEngineStatsCounters(t *testing.T) {
+	e := New()
+	const n = 10
+	ran := 0
+	for i := 0; i < n; i++ {
+		e.At(Time(i), func() { ran++ })
+	}
+	st := e.Stats()
+	if st.Pushes != n || st.Pops != 0 || st.MaxQueueDepth != n {
+		t.Fatalf("pre-run stats = %+v, want Pushes=%d Pops=0 MaxQueueDepth=%d", st, n, n)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if ran != n || st.Pops != n {
+		t.Fatalf("post-run: ran %d, stats %+v, want %d pops", ran, st, n)
+	}
+	// The high-water mark never shrinks, and a deeper burst raises it: fan
+	// out wider than before from a single event.
+	e.At(e.Now(), func() {
+		for i := 0; i < 3*n; i++ {
+			e.At(e.Now().Add(1), func() { ran++ })
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.MaxQueueDepth != 3*n {
+		t.Fatalf("MaxQueueDepth = %d after 3n-wide burst, want %d", st.MaxQueueDepth, 3*n)
+	}
+	if st.Pushes != uint64(4*n+1) || st.Pops != uint64(4*n+1) {
+		t.Fatalf("stats = %+v, want Pushes=Pops=%d", st, 4*n+1)
+	}
+}
+
+// TestEngineStatsCountSleeps verifies the proc-transfer events (Sleep's
+// timers) are counted like callback events: the hot path must not bypass the
+// telemetry the perf harness samples.
+func TestEngineStatsCountSleeps(t *testing.T) {
+	e := New()
+	const sleeps = 5
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < sleeps; i++ {
+			p.Sleep(Duration(i + 1))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// One activation event from Spawn plus one timer event per Sleep.
+	if st.Pushes != sleeps+1 || st.Pops != sleeps+1 {
+		t.Fatalf("stats = %+v, want Pushes=Pops=%d", st, sleeps+1)
+	}
+	if st.ProcsSpawned != 1 {
+		t.Fatalf("ProcsSpawned = %d, want 1", st.ProcsSpawned)
+	}
+}
+
+// TestSelfKillTakesEffectAtNextPark re-checks the documented self-kill
+// contract under the proc-transfer pop loop: a process killing itself keeps
+// executing until its next park, then unwinds without resuming.
+func TestSelfKillTakesEffectAtNextPark(t *testing.T) {
+	e := New()
+	afterKill := false
+	pastPark := false
+	victim := e.Spawn("suicide", func(p *Proc) {
+		p.Kill()
+		afterKill = true // Kill must not unwind the caller mid-frame
+		p.Sleep(Second)
+		pastPark = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !afterKill {
+		t.Fatal("self-kill unwound the process before its next park")
+	}
+	if pastPark {
+		t.Fatal("self-killed process resumed past its park")
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Fatal("victim not marked done+killed")
+	}
+	// The stale wake Kill scheduled must drain harmlessly.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillOtherAtSameInstant kills a process from an event scheduled at the
+// same instant as the victim's pending wakeup, exercising the stale-transfer
+// guard in the pop loop (transfer to a done process is a no-op).
+func TestKillOtherAtSameInstant(t *testing.T) {
+	e := New()
+	resumed := false
+	victim := e.Spawn("victim", func(p *Proc) {
+		p.Sleep(Second)
+		resumed = true
+	})
+	// Fires at the same instant as the victim's timer but was scheduled
+	// first, so it runs first and the victim's pending transfer goes stale.
+	e.At(Time(Second), func() { victim.Kill() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("victim resumed after a same-instant kill scheduled ahead of its timer")
+	}
+	if !victim.Done() || !victim.Killed() {
+		t.Fatal("victim not marked done+killed")
+	}
+}

@@ -191,6 +191,15 @@ func (m *Mailbox[T]) Items() []T {
 	return append([]T(nil), m.items...)
 }
 
+// ForEach visits the queued items in FIFO order without copying the queue.
+// fn must not Put, take, or park — the zero-copy variant of Items for
+// observers that only read.
+func (m *Mailbox[T]) ForEach(fn func(T)) {
+	for _, v := range m.items {
+		fn(v)
+	}
+}
+
 // Drain removes and returns all queued items.
 func (m *Mailbox[T]) Drain() []T {
 	items := m.items

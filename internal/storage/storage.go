@@ -52,7 +52,9 @@ type Request struct {
 	Done    func(Reply)
 }
 
-// Reply carries the result of a request.
+// Reply carries the result of a request. Data on a read reply borrows the
+// server's durable blob — callers must treat it as read-only (every stored
+// blob is immutable in [0:len), so the borrow can never go stale).
 type Reply struct {
 	Err   error
 	Data  []byte
@@ -227,7 +229,11 @@ func (s *Server) apply(p *sim.Proc, req Request) Reply {
 		}
 		p.Sleep(sim.BytesAt(len(data), s.cfg.ReadBandwidth))
 		s.bytesRead += int64(len(data))
-		return Reply{Data: append([]byte(nil), data...), Size: len(data)}
+		// The reply borrows the durable blob instead of copying it: stored
+		// bytes are immutable in [0:len) — OpWrite installs a fresh slice,
+		// OpAppend only writes past the old length — so readers holding the
+		// borrow stay consistent no matter what later requests do.
+		return Reply{Data: data, Size: len(data)}
 	case OpDelete:
 		delete(s.tmp, req.Path)
 		delete(s.files, req.Path)
